@@ -1,0 +1,87 @@
+// E10 — engineering scaling (google-benchmark): wall-clock cost of the
+// simulator's view gathering, the two paper algorithms, and the exact
+// solvers that back the harness's ground truth. Not a paper artifact, but
+// the cost model a downstream user of this library needs.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/algorithm1.hpp"
+#include "core/theorem44.hpp"
+#include "cuts/local_cuts.hpp"
+#include "graph/generators.hpp"
+#include "local/view.hpp"
+#include "solve/exact_mds.hpp"
+#include "solve/tree_dp.hpp"
+
+namespace {
+
+using namespace lmds;
+
+void BM_GatherViews(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::gen::theta_chain(links, 4);
+  const local::Network net(g);
+  for (auto _ : state) {
+    local::TrafficStats stats;
+    benchmark::DoNotOptimize(local::gather_views(net, 3, &stats));
+  }
+  state.SetComplexityN(g.num_vertices());
+}
+BENCHMARK(BM_GatherViews)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_Theorem44(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::gen::theta_chain(links, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::theorem44_mds(g));
+  }
+  state.SetComplexityN(g.num_vertices());
+}
+BENCHMARK(BM_Theorem44)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_Algorithm1(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::gen::theta_chain(links, 4);
+  core::Algorithm1Config cfg;
+  cfg.t = 5;
+  cfg.radius1 = 3;
+  cfg.radius2 = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::algorithm1(g, cfg));
+  }
+  state.SetComplexityN(g.num_vertices());
+}
+BENCHMARK(BM_Algorithm1)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+void BM_LocalOneCuts(benchmark::State& state) {
+  const graph::Graph g = graph::gen::cycle(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cuts::local_one_cuts(g, 3));
+  }
+  state.SetComplexityN(g.num_vertices());
+}
+BENCHMARK(BM_LocalOneCuts)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_ExactMdsThetaChain(benchmark::State& state) {
+  const graph::Graph g = graph::gen::theta_chain(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve::exact_mds(g));
+  }
+}
+BENCHMARK(BM_ExactMdsThetaChain)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_TreeDp(benchmark::State& state) {
+  std::mt19937_64 rng(99);
+  const graph::Graph g = graph::gen::random_tree(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve::tree_mds(g));
+  }
+  state.SetComplexityN(g.num_vertices());
+}
+BENCHMARK(BM_TreeDp)->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// E3 — the "constants are tricky" figure: Algorithm 1's behaviour as a
+// function of the local-cut radius. The paper's radii m3.2 = 43t+2 and
+// m3.3 = 73t+5 are far beyond any simulable diameter; this sweep charts
+// what actually happens between radius 1 and "effectively global":
+// the sets X (local 1-cuts) and I (interesting) shift work between the cut
+// steps and the brute-force step, ratio stays valid throughout, and rounds
+// grow linearly with the radius.
+
+#include <cstdio>
+#include <string>
+
+#include "core/algorithm1.hpp"
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+
+namespace {
+
+void sweep(const lmds::graph::Graph& g, const char* label, int t) {
+  using namespace lmds;
+  std::printf("%s (n = %d, t = %d)\n", label, g.num_vertices(), t);
+  std::printf("%6s %8s %6s %6s %8s %10s %8s %8s\n", "radius", "|S|", "|X|", "|I|", "brute",
+              "res.diam", "rounds", "ratio");
+  for (const int r : {1, 2, 3, 4, 6, 8, 12}) {
+    core::Algorithm1Config cfg;
+    cfg.t = t;
+    cfg.radius1 = r;
+    cfg.radius2 = r;
+    const auto result = core::algorithm1(g, cfg);
+    const auto ratio = core::measure_mds_ratio(g, result.dominating_set);
+    std::printf("%6d %8zu %6zu %6zu %8zu %10d %8d %8.2f\n", r, result.dominating_set.size(),
+                result.diag.one_cuts.size(), result.diag.interesting.size(),
+                result.diag.brute_forced.size(), result.diag.max_residual_diameter,
+                result.diag.rounds, ratio.ratio);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace lmds;
+  std::printf("Algorithm 1 radius sweep (radius1 = radius2 = r)\n\n");
+  sweep(graph::gen::theta_chain(10, 4), "theta chain", 5);
+  sweep(graph::gen::cycle(48), "long cycle", 3);
+  sweep(graph::gen::clique_with_pendants(12), "clique with pendants (Section 4 example)", 12);
+  std::printf("Reading: small radii find few local cuts and lean on brute force\n"
+              "(larger residual diameter, fewer rounds); larger radii converge to the\n"
+              "global cut structure. The output stays a valid dominating set at every r.\n");
+  return 0;
+}

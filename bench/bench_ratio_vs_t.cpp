@@ -1,0 +1,43 @@
+// E2 — the headline figure: approximation ratio as a function of t on
+// adversarial K_{2,t}-minor-free inputs (theta chains). Theorem 4.4's rule
+// keeps every vertex and pays Θ(t); Algorithm 1's ratio stays flat. This is
+// the "ratio independent of the size of H" claim of the abstract, rendered
+// as a data series.
+
+#include <cstdio>
+#include <string>
+
+#include "core/algorithm1.hpp"
+#include "core/metrics.hpp"
+#include "core/theorem44.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace lmds;
+  std::printf("Ratio vs t on theta chains (links = 8, parallel = t-1)\n\n");
+  std::printf("%4s %6s %8s | %14s | %14s | %10s\n", "t", "n", "MDS", "Thm4.4 ratio",
+              "Alg.1 ratio", "2t-1 bound");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  for (int t = 3; t <= 11; ++t) {
+    const graph::Graph g = graph::gen::theta_chain(8, t - 1);
+
+    const auto quick = core::theorem44_mds(g);
+    const auto quick_ratio = core::measure_mds_ratio(g, quick.solution);
+
+    core::Algorithm1Config cfg;
+    cfg.t = t;
+    cfg.radius1 = 4;
+    cfg.radius2 = 4;
+    const auto full = core::algorithm1(g, cfg);
+    const auto full_ratio = core::measure_mds_ratio(g, full.dominating_set);
+
+    std::printf("%4d %6d %8d | %14.2f | %14.2f | %10d\n", t, g.num_vertices(),
+                quick_ratio.reference, quick_ratio.ratio, full_ratio.ratio, 2 * t - 1);
+  }
+
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::printf("\nExpected shape: column 4 grows linearly in t (within the 2t-1 guarantee),\n"
+              "column 5 stays constant — Theorem 4.1's t-independence.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E6 — Lemma 4.2: after removing the local 1-cuts, the interesting
+// vertices and the saturated set U, every residual component has bounded
+// diameter. The stress family is Ding augmentations with ever longer
+// strips: the input diameter grows linearly with the strip length, the
+// residual diameter must plateau (long strips develop local 2-cuts at their
+// rungs, so their interiors get carved up).
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "core/algorithm1.hpp"
+#include "ding/generators.hpp"
+#include "graph/bfs.hpp"
+#include "solve/validate.hpp"
+
+int main() {
+  using namespace lmds;
+  std::mt19937_64 rng(31337);
+
+  std::printf("Lemma 4.2 — residual component diameter vs structure length\n");
+  std::printf("(radius1 = radius2 = 3, Ding augmentations: base 16 vertices, 1 fan + 2 strips)\n\n");
+  std::printf("%12s %6s %12s %14s %14s %8s\n", "strip len", "n", "graph diam", "res. comps",
+              "res. diam", "valid");
+  std::printf("%s\n", std::string(72, '-').c_str());
+
+  for (const int length : {4, 8, 12, 16, 20, 24}) {
+    ding::AugmentationConfig cfg;
+    cfg.base_vertices = 16;
+    cfg.base_extra_edges = 4;
+    cfg.fans = 1;
+    cfg.strips = 2;
+    cfg.min_length = length;
+    cfg.max_length = length;
+    const auto aug = ding::random_augmentation(cfg, rng);
+
+    core::Algorithm1Config acfg;
+    acfg.t = 6;
+    acfg.radius1 = 3;
+    acfg.radius2 = 3;
+    const auto result = core::algorithm1(aug.graph, acfg);
+    std::printf("%12d %6d %12d %14d %14d %8s\n", length, aug.graph.num_vertices(),
+                graph::diameter(aug.graph), result.diag.residual_components,
+                result.diag.max_residual_diameter,
+                solve::is_dominating_set(aug.graph, result.dominating_set) ? "ok" : "INVALID");
+  }
+
+  std::printf("%s\n", std::string(72, '-').c_str());
+  std::printf("\nExpected shape: column 3 (graph diameter) grows with the strip length,\n"
+              "column 5 (residual diameter) plateaus — Lemma 4.2's content. The plateau\n"
+              "level scales with the chosen radii, mirroring m4.2(t) = 3*m3.3 + g(t) + 3.\n");
+  return 0;
+}

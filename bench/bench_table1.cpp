@@ -1,0 +1,170 @@
+// E1 — regenerates Table 1 of the paper: constant-round distributed MDS
+// approximation across H-minor-free classes. For every row we run the row's
+// algorithm on generated instances of the row's class and report the paper's
+// guarantee next to the worst measured ratio and the measured LOCAL rounds.
+//
+// Substitutions (DESIGN.md): the K_{s,t} / K_t rows of the paper cite
+// Heydt et al. [12] and Kublenz-Siebertz-Vigny [18]; we run our KSV-style
+// baseline as their representative. The outerplanar row runs the paper's own
+// Theorem 4.4 (its generalisation of [4]).
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/baselines.hpp"
+#include "core/metrics.hpp"
+#include "core/theorem44.hpp"
+#include "ding/generators.hpp"
+#include "graph/generators.hpp"
+#include "solve/validate.hpp"
+
+namespace {
+
+using namespace lmds;
+using graph::Graph;
+using graph::Vertex;
+
+struct RowResult {
+  double worst_ratio = 0;
+  int rounds = 0;
+  bool all_valid = true;
+  bool exact = true;
+};
+
+void accumulate(RowResult& row, const Graph& g, const std::vector<Vertex>& solution,
+                int rounds) {
+  const auto report = core::measure_mds_ratio(g, solution);
+  row.worst_ratio = std::max(row.worst_ratio, report.ratio);
+  row.rounds = std::max(row.rounds, rounds);
+  row.all_valid = row.all_valid && solve::is_dominating_set(g, solution);
+  row.exact = row.exact && report.exact;
+}
+
+void print_row(const char* klass, const char* algorithm, const char* paper_ratio,
+               const char* paper_rounds, const RowResult& row) {
+  std::printf("%-22s %-24s %-12s %-8s %8.2f%s %7d    %s\n", klass, algorithm, paper_ratio,
+              paper_rounds, row.worst_ratio, row.exact ? " " : "*", row.rounds,
+              row.all_valid ? "ok" : "INVALID");
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(20250610);
+  std::printf("Table 1 reproduction — constant-round MDS approximation on minor-free classes\n");
+  std::printf("(measured ratio = worst over instances vs exact MDS; * marks lower-bound refs)\n\n");
+  std::printf("%-22s %-24s %-12s %-8s %9s %7s\n", "class (excluded minor)", "algorithm",
+              "paper ratio", "rounds", "measured", "rounds");
+  std::printf("%s\n", std::string(96, '-').c_str());
+
+  // --- trees (K3): folklore degree rule ---------------------------------
+  {
+    RowResult row;
+    for (int trial = 0; trial < 5; ++trial) {
+      const Graph g = graph::gen::random_tree(400, rng);
+      accumulate(row, g, core::tree_degree_rule(g), 2);
+    }
+    print_row("trees (K_3)", "degree >= 2 rule", "3", "2", row);
+  }
+
+  // --- outerplanar (K4, K_{2,3}): Theorem 4.4 with t = 3 -----------------
+  {
+    RowResult row;
+    for (int trial = 0; trial < 5; ++trial) {
+      const Graph g = graph::gen::random_outerplanar(60, 0.5, rng);
+      const auto result = core::theorem44_mds(g);
+      accumulate(row, g, result.solution, result.traffic.rounds);
+    }
+    print_row("outerplanar (K_{2,3})", "Thm 4.4 (2t-1, t=3)", "5", "2", row);
+  }
+
+  // --- planar (K5, K_{3,3}): KSV-style baseline --------------------------
+  {
+    RowResult row;
+    for (int trial = 0; trial < 3; ++trial) {
+      const Graph g = graph::gen::apollonian(90, rng);
+      accumulate(row, g, core::ksv_style(g, 3), 4);
+    }
+    for (int trial = 0; trial < 2; ++trial) {
+      const Graph g = graph::gen::grid(9, 12);
+      accumulate(row, g, core::ksv_style(g, 3), 4);
+    }
+    print_row("planar (K_5)", "KSV-style (for [12])", "11+eps", "O(1)", row);
+  }
+
+  // --- K_{1,t}: take everything ------------------------------------------
+  {
+    const int t = 6;
+    RowResult row;
+    for (int trial = 0; trial < 5; ++trial) {
+      const Graph g = graph::gen::random_max_degree(60, t - 1, 30, rng);
+      accumulate(row, g, core::take_all(g), 0);
+    }
+    print_row("K_{1,6}", "take all", "t = 6", "0", row);
+  }
+
+  // --- K_{2,t}: Theorem 4.4 ----------------------------------------------
+  {
+    const int t = 6;
+    RowResult row;
+    for (int links : {6, 10}) {
+      const Graph g = graph::gen::theta_chain(links, t - 1);
+      const auto result = core::theorem44_mds(g);
+      accumulate(row, g, result.solution, result.traffic.rounds);
+    }
+    ding::CactusConfig cfg;
+    cfg.pieces = 10;
+    cfg.t = t;
+    for (int trial = 0; trial < 3; ++trial) {
+      const Graph g = ding::random_cactus_of_structures(cfg, rng);
+      const auto result = core::theorem44_mds(g);
+      accumulate(row, g, result.solution, result.traffic.rounds);
+    }
+    print_row("K_{2,6}", "Thm 4.4 (2t-1)", "11", "3", row);
+  }
+
+  // --- K_{2,t}: Algorithm 1 ----------------------------------------------
+  {
+    const int t = 6;
+    RowResult row;
+    core::Algorithm1Config cfg;
+    cfg.t = t;
+    cfg.radius1 = 4;
+    cfg.radius2 = 4;
+    for (int links : {6, 10}) {
+      const Graph g = graph::gen::theta_chain(links, t - 1);
+      const auto result = core::algorithm1(g, cfg);
+      accumulate(row, g, result.dominating_set, result.diag.rounds);
+    }
+    ding::CactusConfig ccfg;
+    ccfg.pieces = 10;
+    ccfg.t = t;
+    for (int trial = 0; trial < 3; ++trial) {
+      const Graph g = ding::random_cactus_of_structures(ccfg, rng);
+      const auto result = core::algorithm1(g, cfg);
+      accumulate(row, g, result.dominating_set, result.diag.rounds);
+    }
+    print_row("K_{2,6}", "Algorithm 1 (Thm 4.1)", "50 (51)", "O_t(1)", row);
+  }
+
+  // --- K_t (via planar = K_5-minor-free): KSV-style ----------------------
+  {
+    RowResult row;
+    for (int trial = 0; trial < 3; ++trial) {
+      const Graph g = graph::gen::apollonian(80, rng);
+      accumulate(row, g, core::ksv_style(g, 4), 4);
+    }
+    print_row("K_5 (for K_t row)", "KSV-style (for [18])", "t^O(..)", "O(1)", row);
+  }
+
+  std::printf("%s\n", std::string(96, '-').c_str());
+  std::printf(
+      "\nShape check (what the paper claims): the Thm 4.4 row pays ~2t-1 on adversarial\n"
+      "K_{2,t} inputs while Algorithm 1 stays small and t-independent; folklore rows meet\n"
+      "their stated constants. Paper ratio \"50 (51)\" reflects the printed-constant sum\n"
+      "c3.2(1)+c3.3(1)+1 = 51 vs the claimed 50 (see EXPERIMENTS.md).\n");
+  return 0;
+}

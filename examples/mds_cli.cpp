@@ -1,0 +1,149 @@
+// Command-line driver: run any of the library's dominating-set / vertex-
+// cover algorithms on an edge-list graph from a file or stdin.
+//
+//   usage: mds_cli <algorithm> [file] [--t N] [--r1 N] [--r2 N] [--quiet]
+//
+//   algorithms: algorithm1 | algorithm1-mvc | theorem44 | theorem44-mvc |
+//               greedy | exact | exact-mvc | ksv | take-all | tree-rule
+//
+//   $ ./mds_cli algorithm1 graph.txt --t 5 --r1 4 --r2 4
+//   $ ./mds_cli theorem44 < graph.txt
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/baselines.hpp"
+#include "core/metrics.hpp"
+#include "core/mvc.hpp"
+#include "core/theorem44.hpp"
+#include "graph/io.hpp"
+#include "solve/exact_mds.hpp"
+#include "solve/exact_mvc.hpp"
+#include "solve/greedy.hpp"
+#include "solve/validate.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mds_cli <algorithm> [file] [--t N] [--r1 N] [--r2 N] [--quiet]\n"
+               "algorithms: algorithm1 | algorithm1-mvc | theorem44 | theorem44-mvc |\n"
+               "            greedy | exact | exact-mvc | ksv | take-all | tree-rule\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lmds;
+  if (argc < 2) return usage();
+  const std::string algorithm = argv[1];
+
+  std::string file;
+  int t = 5;
+  int r1 = 4;
+  int r2 = 4;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--t" && i + 1 < argc) {
+      t = std::atoi(argv[++i]);
+    } else if (arg == "--r1" && i + 1 < argc) {
+      r1 = std::atoi(argv[++i]);
+    } else if (arg == "--r2" && i + 1 < argc) {
+      r2 = std::atoi(argv[++i]);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  graph::Graph g;
+  try {
+    if (file.empty()) {
+      g = graph::read_edge_list(std::cin);
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "mds_cli: cannot open %s\n", file.c_str());
+        return 1;
+      }
+      g = graph::read_edge_list(in);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mds_cli: %s\n", e.what());
+    return 1;
+  }
+
+  core::Algorithm1Config cfg;
+  cfg.t = t;
+  cfg.radius1 = r1;
+  cfg.radius2 = r2;
+
+  std::vector<graph::Vertex> solution;
+  bool is_cover_problem = false;
+  int rounds = -1;
+  try {
+    if (algorithm == "algorithm1") {
+      const auto result = core::algorithm1(g, cfg);
+      solution = result.dominating_set;
+      rounds = result.diag.rounds;
+    } else if (algorithm == "algorithm1-mvc") {
+      const auto result = core::algorithm1_mvc(g, cfg);
+      solution = result.vertex_cover;
+      rounds = result.diag.rounds;
+      is_cover_problem = true;
+    } else if (algorithm == "theorem44") {
+      const auto result = core::theorem44_mds(g);
+      solution = result.solution;
+      rounds = result.traffic.rounds;
+    } else if (algorithm == "theorem44-mvc") {
+      const auto result = core::theorem44_mvc(g);
+      solution = result.solution;
+      rounds = result.traffic.rounds;
+      is_cover_problem = true;
+    } else if (algorithm == "greedy") {
+      solution = solve::greedy_mds(g);
+    } else if (algorithm == "exact") {
+      solution = solve::exact_mds(g);
+    } else if (algorithm == "exact-mvc") {
+      solution = solve::exact_mvc(g);
+      is_cover_problem = true;
+    } else if (algorithm == "ksv") {
+      solution = core::ksv_style(g, 3);
+    } else if (algorithm == "take-all") {
+      solution = core::take_all(g);
+    } else if (algorithm == "tree-rule") {
+      solution = core::tree_degree_rule(g);
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mds_cli: %s failed: %s\n", algorithm.c_str(), e.what());
+    return 1;
+  }
+
+  const bool valid = is_cover_problem ? solve::is_vertex_cover(g, solution)
+                                      : solve::is_dominating_set(g, solution);
+  if (!quiet) {
+    std::printf("# %s on %s\n", algorithm.c_str(), g.summary().c_str());
+    std::printf("# |S| = %zu, valid = %s", solution.size(), valid ? "yes" : "NO");
+    if (rounds >= 0) std::printf(", rounds = %d", rounds);
+    if (g.num_vertices() <= 300) {
+      const auto report = is_cover_problem ? core::measure_mvc_ratio(g, solution)
+                                           : core::measure_mds_ratio(g, solution);
+      std::printf(", ratio = %s", report.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  for (graph::Vertex v : solution) std::printf("%d\n", v);
+  return valid ? 0 : 1;
+}

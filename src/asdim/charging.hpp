@@ -1,0 +1,28 @@
+#pragma once
+// The charging machinery behind Lemma 5.2 and Proposition 3.1: sets with
+// pairwise disjoint closed neighbourhoods have Σ MDS(G, R_i) <= MDS(G),
+// which is how local counts (1-cuts per cover part, interesting vertices
+// per part) get charged against the global optimum.
+
+#include <vector>
+
+#include "asdim/cover.hpp"
+#include "graph/graph.hpp"
+
+namespace lmds::asdim {
+
+/// True iff the closed neighbourhoods N[R_i] are pairwise disjoint
+/// (precondition of Lemma 5.2).
+bool closed_neighborhoods_disjoint(const Graph& g, const std::vector<std::vector<Vertex>>& sets);
+
+/// Σ_i MDS(G, R_i), each term exact (Section 2's B-domination).
+int sum_b_domination(const Graph& g, const std::vector<std::vector<Vertex>>& sets);
+
+/// Proposition 3.1-style certificate for a cover: for every part, sums
+/// MDS(G, N^k[B]) over the part's (2k+3)-components B, and returns the
+/// maximum part-sum. Lemma 5.2 guarantees each part-sum <= MDS(G) whenever
+/// the components' N^{k+1}-neighbourhoods are disjoint (they are, at
+/// distance >= 2k+4).
+int charging_certificate(const Graph& g, const Cover& cover, int k);
+
+}  // namespace lmds::asdim

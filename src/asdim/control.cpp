@@ -1,0 +1,24 @@
+#include "asdim/control.hpp"
+
+#include <algorithm>
+
+#include "core/constants.hpp"
+
+namespace lmds::asdim {
+
+std::vector<ControlPoint> measure_control_curve(const std::vector<Graph>& family,
+                                                const std::vector<int>& scales, int t) {
+  std::vector<ControlPoint> curve;
+  for (int r : scales) {
+    ControlPoint point;
+    point.r = r;
+    point.paper_bound = core::ControlFunction{t}(r);
+    for (const Graph& g : family) {
+      point.measured = std::max(point.measured, measured_control(g, r));
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace lmds::asdim

@@ -1,0 +1,26 @@
+#pragma once
+// Control-function measurement across a family of graphs: the empirical
+// counterpart of f(r) = (5r+18)t from [3, Lemma 7.1], reported by bench E9.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asdim/cover.hpp"
+
+namespace lmds::asdim {
+
+/// One measured point: scale r, measured max weak diameter, paper bound.
+struct ControlPoint {
+  int r = 0;
+  int measured = 0;
+  int paper_bound = 0;
+};
+
+/// Measures the BFS-band control value on every graph of the family at each
+/// scale, keeping the max per scale (the family-level control function is a
+/// sup). paper_bound is filled from f(r) = (5r+18)t.
+std::vector<ControlPoint> measure_control_curve(const std::vector<Graph>& family,
+                                                const std::vector<int>& scales, int t);
+
+}  // namespace lmds::asdim

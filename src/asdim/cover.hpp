@@ -1,0 +1,54 @@
+#pragma once
+// Asymptotic dimension machinery (Section 3).
+//
+// A class has asymptotic dimension <= d with control function f when every
+// graph admits, for every r, a cover V = B_0 ∪ ... ∪ B_d whose r-components
+// (components of the "within distance r" relation inside a part) have weak
+// diameter <= f(r).
+//
+// We implement the classic BFS-band construction witnessing dimension 1 on
+// tree-like classes: distance layers from a root are grouped into bands of
+// width r, alternating bands go to B_0 / B_1. Two vertices of the same part
+// within distance r land in the same band stack, and on the generator
+// families the band r-components stay O(r·t)-bounded — validate_cover
+// measures this, and bench E9 compares against the paper's f(r) = (5r+18)t.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::asdim {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// A (d+1)-part cover for a fixed scale r.
+struct Cover {
+  std::vector<std::vector<Vertex>> parts;  ///< parts[i] sorted
+  int r = 1;
+
+  int dimension() const { return static_cast<int>(parts.size()) - 1; }
+};
+
+/// Two-part BFS-band cover at scale r: bands of r consecutive BFS layers,
+/// even-indexed bands to part 0, odd to part 1. Works per connected
+/// component (roots at the minimum vertex of each).
+Cover bfs_band_cover(const Graph& g, int r);
+
+/// Validation result of a cover.
+struct CoverCheck {
+  bool is_cover = false;                 ///< every vertex in some part
+  int max_component_weak_diameter = 0;   ///< max over parts and r-components
+  int num_components = 0;                ///< total r-components across parts
+};
+
+/// Measures the cover's quality: extracts the r-components of every part
+/// (graph::r_components) and takes the max weak diameter.
+CoverCheck validate_cover(const Graph& g, const Cover& cover);
+
+/// The empirical control value at scale r: the max r-component weak
+/// diameter of the BFS-band cover. The class-level control function is the
+/// sup over the class; bench E9 reports this per family against (5r+18)t.
+int measured_control(const Graph& g, int r);
+
+}  // namespace lmds::asdim

@@ -1,0 +1,2 @@
+#include "core/constants.hpp"
+// Header-only; this TU pins the header into the build.

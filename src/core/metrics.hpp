@@ -1,0 +1,36 @@
+#pragma once
+// Ratio measurement helpers shared by the benches: divide a solution size by
+// the exact optimum when the exact solver finishes within budget, otherwise
+// by a combinatorial lower bound (clearly flagged).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::core {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// One measured ratio.
+struct RatioReport {
+  int solution_size = 0;
+  int reference = 0;      ///< exact optimum, or a lower bound
+  bool exact = false;     ///< true iff `reference` is the exact optimum
+  double ratio = 0.0;     ///< solution_size / reference
+
+  /// e.g. "51/17 = 3.00" or ">= 2.43 (vs lower bound)".
+  std::string to_string() const;
+};
+
+/// Measures |solution| / MDS(G). Tries the exact solver (tree DP for
+/// forests, branch & bound otherwise, with a node budget); falls back to the
+/// 2-packing lower bound.
+RatioReport measure_mds_ratio(const Graph& g, std::span<const Vertex> solution);
+
+/// Measures |solution| / MVC(G); falls back to the matching lower bound.
+RatioReport measure_mvc_ratio(const Graph& g, std::span<const Vertex> solution);
+
+}  // namespace lmds::core

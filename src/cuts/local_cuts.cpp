@@ -1,0 +1,77 @@
+#include "cuts/local_cuts.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cuts/block_cut.hpp"
+#include "graph/bfs.hpp"
+#include "graph/ops.hpp"
+
+namespace lmds::cuts {
+
+namespace {
+
+void require_radius(int r) {
+  if (r < 1) throw std::invalid_argument("local cuts: radius must be >= 1");
+}
+
+}  // namespace
+
+bool is_local_one_cut(const Graph& g, Vertex v, int r) {
+  require_radius(r);
+  if (!g.has_vertex(v)) throw std::invalid_argument("is_local_one_cut: bad vertex");
+  const auto ball_vertices = graph::ball(g, v, r);
+  const auto sub = graph::induced_subgraph(g, ball_vertices);
+  return is_cut_vertex(sub.graph, sub.from_parent[static_cast<std::size_t>(v)]);
+}
+
+std::vector<Vertex> local_one_cuts(const Graph& g, int r) {
+  require_radius(r);
+  std::vector<Vertex> result;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (is_local_one_cut(g, v, r)) result.push_back(v);
+  }
+  return result;
+}
+
+bool is_local_two_cut(const Graph& g, Vertex u, Vertex v, int r) {
+  require_radius(r);
+  if (u == v) return false;
+  if (!g.has_vertex(u) || !g.has_vertex(v)) throw std::invalid_argument("is_local_two_cut: bad vertex");
+  const int d = graph::distance(g, u, v);
+  if (d < 0 || d > r) return false;
+  const Vertex sources[] = {u, v};
+  const auto ball_vertices = graph::ball_of_set(g, sources, r);
+  const auto sub = graph::induced_subgraph(g, ball_vertices);
+  return is_minimal_two_cut(sub.graph, sub.from_parent[static_cast<std::size_t>(u)],
+                            sub.from_parent[static_cast<std::size_t>(v)]);
+}
+
+std::vector<VertexPair> local_two_cuts(const Graph& g, int r) {
+  require_radius(r);
+  std::vector<VertexPair> result;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    // Candidates are the vertices within distance r of u (with larger index,
+    // to emit each pair once).
+    for (Vertex v : graph::ball(g, u, r)) {
+      if (v <= u) continue;
+      if (is_local_two_cut(g, u, v, r)) result.push_back({u, v});
+    }
+  }
+  return result;
+}
+
+std::vector<Vertex> vertices_in_local_two_cuts(const Graph& g, int r) {
+  std::vector<char> in(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (const VertexPair p : local_two_cuts(g, r)) {
+    in[static_cast<std::size_t>(p.u)] = 1;
+    in[static_cast<std::size_t>(p.v)] = 1;
+  }
+  std::vector<Vertex> result;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (in[static_cast<std::size_t>(v)]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace lmds::cuts

@@ -1,0 +1,58 @@
+#include "cuts/two_cuts.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace lmds::cuts {
+
+int full_component_count(const Graph& g, Vertex u, Vertex v) {
+  if (u == v || !g.has_vertex(u) || !g.has_vertex(v)) return 0;
+  const Vertex removed[] = {u, v};
+  const auto comps = graph::components_without(g, removed);
+  if (comps.count == 0) return 0;
+  std::vector<char> touches_u(static_cast<std::size_t>(comps.count), 0);
+  std::vector<char> touches_v(static_cast<std::size_t>(comps.count), 0);
+  for (Vertex w : g.neighbors(u)) {
+    const int c = comps.component[static_cast<std::size_t>(w)];
+    if (c >= 0) touches_u[static_cast<std::size_t>(c)] = 1;
+  }
+  for (Vertex w : g.neighbors(v)) {
+    const int c = comps.component[static_cast<std::size_t>(w)];
+    if (c >= 0) touches_v[static_cast<std::size_t>(c)] = 1;
+  }
+  int full = 0;
+  for (int c = 0; c < comps.count; ++c) {
+    if (touches_u[static_cast<std::size_t>(c)] && touches_v[static_cast<std::size_t>(c)]) ++full;
+  }
+  return full;
+}
+
+bool is_minimal_two_cut(const Graph& g, Vertex u, Vertex v) {
+  return full_component_count(g, u, v) >= 2;
+}
+
+std::vector<VertexPair> minimal_two_cuts(const Graph& g) {
+  std::vector<VertexPair> result;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = u + 1; v < g.num_vertices(); ++v) {
+      if (is_minimal_two_cut(g, u, v)) result.push_back({u, v});
+    }
+  }
+  return result;
+}
+
+std::vector<Vertex> vertices_in_minimal_two_cuts(const Graph& g) {
+  std::vector<char> in(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (const VertexPair p : minimal_two_cuts(g)) {
+    in[static_cast<std::size_t>(p.u)] = 1;
+    in[static_cast<std::size_t>(p.v)] = 1;
+  }
+  std::vector<Vertex> result;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (in[static_cast<std::size_t>(v)]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace lmds::cuts

@@ -1,0 +1,124 @@
+#include "ding/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace lmds::ding {
+
+Graph random_cactus_of_structures(const CactusConfig& cfg, std::mt19937_64& rng) {
+  if (cfg.t < 3) throw std::invalid_argument("cactus: t >= 3 required");
+  if (cfg.pieces < 1) throw std::invalid_argument("cactus: pieces >= 1 required");
+  if (!(cfg.use_fans || cfg.use_strips || cfg.use_theta_links || cfg.use_cycles)) {
+    throw std::invalid_argument("cactus: no structure kind enabled");
+  }
+
+  graph::GraphBuilder b(1);
+  std::vector<Vertex> glue_points{0};  // vertices future pieces may glue onto
+  std::uniform_int_distribution<int> piece_size(3, std::max(3, cfg.max_piece_size));
+
+  std::vector<int> kinds;
+  if (cfg.use_fans) kinds.push_back(0);
+  // Strips are only certified K_{2,5}-minor-free [8], so they are eligible
+  // pieces only when the requested excluded minor is at least K_{2,5}.
+  if (cfg.use_strips && cfg.t >= 5) kinds.push_back(1);
+  if (cfg.use_theta_links) kinds.push_back(2);
+  if (cfg.use_cycles) kinds.push_back(3);
+  if (kinds.empty()) throw std::invalid_argument("cactus: no structure kind usable for this t");
+  std::uniform_int_distribution<std::size_t> pick_kind(0, kinds.size() - 1);
+
+  for (int piece = 0; piece < cfg.pieces; ++piece) {
+    std::uniform_int_distribution<std::size_t> pick_glue(0, glue_points.size() - 1);
+    const Vertex glue = glue_points[pick_glue(rng)];
+    const int size = piece_size(rng);
+    const int kind = kinds[pick_kind(rng)];
+    const Vertex base = static_cast<Vertex>(b.num_vertices());
+    switch (kind) {
+      case 0: {  // fan glued at its centre: centre = glue, fresh path
+        const int length = std::max(1, size - 2);
+        std::vector<Vertex> path;
+        for (int i = 0; i <= length; ++i) path.push_back(base + static_cast<Vertex>(i));
+        b.add_path(path);
+        for (Vertex p : path) b.add_edge(glue, p);
+        for (Vertex p : path) glue_points.push_back(p);
+        break;
+      }
+      case 1: {  // strip glued at one corner
+        const int length = std::max(2, size / 2);
+        const Graph s = strip(length, false);
+        // Corner t_0 of the strip is identified with glue; everything else
+        // is fresh, shifted by (base - 1) with an offset fix for vertex 0.
+        const auto remap = [&](Vertex v) -> Vertex {
+          if (v == 0) return glue;
+          return base + v - 1;
+        };
+        for (const graph::Edge e : s.edges()) b.add_edge(remap(e.u), remap(e.v));
+        for (Vertex v = 1; v < s.num_vertices(); ++v) glue_points.push_back(remap(v));
+        break;
+      }
+      case 2: {  // theta bundle: glue --(t-1 parallel 2-paths)-- fresh hub
+        const Vertex hub = base;
+        for (int p = 0; p < cfg.t - 1; ++p) {
+          const Vertex mid = base + 1 + static_cast<Vertex>(p);
+          b.add_edge(glue, mid);
+          b.add_edge(mid, hub);
+        }
+        glue_points.push_back(hub);
+        break;
+      }
+      default: {  // cycle through glue
+        const int length = std::max(3, size);
+        std::vector<Vertex> cyc{glue};
+        for (int i = 0; i + 1 < length; ++i) cyc.push_back(base + static_cast<Vertex>(i));
+        b.add_cycle(cyc);
+        for (std::size_t i = 1; i < cyc.size(); ++i) glue_points.push_back(cyc[i]);
+        break;
+      }
+    }
+  }
+  return b.build();
+}
+
+Augmentation random_augmentation(const AugmentationConfig& cfg, std::mt19937_64& rng) {
+  if (cfg.base_vertices < 5) throw std::invalid_argument("augmentation: base too small");
+  const Graph base = graph::gen::random_connected(cfg.base_vertices, cfg.base_extra_edges, rng);
+  AugmentationBuilder builder(base);
+  Augmentation result;
+  std::uniform_int_distribution<int> length(cfg.min_length, std::max(cfg.min_length, cfg.max_length));
+
+  // Pick distinct base vertices for each attachment so the corner-sharing
+  // rule is trivially satisfied (except fan centres, which may repeat).
+  std::vector<Vertex> pool(static_cast<std::size_t>(cfg.base_vertices));
+  for (Vertex v = 0; v < cfg.base_vertices; ++v) pool[static_cast<std::size_t>(v)] = v;
+  std::shuffle(pool.begin(), pool.end(), rng);
+  std::size_t cursor = 0;
+  const auto draw = [&]() -> Vertex {
+    if (cursor >= pool.size()) {
+      throw std::invalid_argument("augmentation: base too small for requested attachments");
+    }
+    return pool[cursor++];
+  };
+
+  for (int f = 0; f < cfg.fans; ++f) {
+    const Vertex centre = draw();
+    const Vertex front = draw();
+    const Vertex back = draw();
+    const int len = length(rng);
+    builder.attach_fan(centre, front, back, len);
+    result.structure_corners.push_back({centre, front, back});
+    result.structure_lengths.push_back(len);
+  }
+  for (int s = 0; s < cfg.strips; ++s) {
+    const std::array<Vertex, 4> corners{draw(), draw(), draw(), draw()};
+    const int len = std::max(2, length(rng));
+    builder.attach_strip(corners, len, cfg.crossed_strips);
+    result.structure_corners.push_back({corners.begin(), corners.end()});
+    result.structure_lengths.push_back(len);
+  }
+  result.graph = builder.build();
+  return result;
+}
+
+}  // namespace lmds::ding

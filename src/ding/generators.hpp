@@ -1,0 +1,68 @@
+#pragma once
+// Certified K_{2,t}-minor-free workload generators built from Ding's
+// structures.
+//
+// Certification strategy: K_{2,t} is 2-connected for t >= 2, so any K_{2,t}
+// minor of a graph lives inside one of its blocks. A 1-sum (vertex gluing)
+// of K_{2,t}-minor-free pieces is therefore K_{2,t}-minor-free. The pieces
+// used here, with their guaranteed excluded minors:
+//   * fans           — K_{2,3}-minor-free (verified in tests),
+//   * strips         — K_{2,5}-minor-free [8],
+//   * theta links    — a bundle of p parallel length-2 paths between two
+//                      hubs is K_{2,p+1}-minor-free,
+//   * cycles, edges  — K_{2,2}/K_{2,3}-minor-free.
+// random_cactus_of_structures glues such pieces along a random tree skeleton
+// at single shared vertices, so the result excludes K_{2,t} for
+// t = max piece parameter + 1.
+
+#include <random>
+#include <vector>
+
+#include "ding/structures.hpp"
+#include "graph/graph.hpp"
+
+namespace lmds::ding {
+
+/// Which structures random_cactus_of_structures may use.
+struct CactusConfig {
+  int pieces = 10;          ///< number of glued structures
+  int max_piece_size = 12;  ///< cap on vertices added per piece
+  int t = 5;                ///< certified excluded minor: K_{2,t} (t >= 3)
+  bool use_fans = true;
+  bool use_strips = true;
+  bool use_theta_links = true;
+  bool use_cycles = true;
+};
+
+/// Random 1-sum of fans / strips / theta bundles / cycles along a tree
+/// skeleton. Certified K_{2,cfg.t}-minor-free by construction (see header
+/// comment); small instances are cross-checked in tests with the exact
+/// tester.
+Graph random_cactus_of_structures(const CactusConfig& cfg, std::mt19937_64& rng);
+
+/// A Ding augmentation workload: a small random connected base graph with
+/// random fans and strips attached at distinct vertices (corner-sharing rule
+/// respected). Matches the A_m shape of Proposition 5.15; *not* certified
+/// K_{2,t}-minor-free for a specific t — callers that need a certificate
+/// should check with minor::max_k2t or use random_cactus_of_structures.
+struct AugmentationConfig {
+  int base_vertices = 16;  ///< must cover 3 corners per fan + 4 per strip
+  int base_extra_edges = 4;
+  int fans = 2;
+  int strips = 2;
+  int min_length = 3;
+  int max_length = 10;
+  bool crossed_strips = false;
+};
+
+/// Result of random_augmentation: the graph plus the corner vertices of each
+/// attached structure (used by the Lemma 4.2 residual-diameter bench).
+struct Augmentation {
+  Graph graph;
+  std::vector<std::vector<Vertex>> structure_corners;
+  std::vector<int> structure_lengths;
+};
+
+Augmentation random_augmentation(const AugmentationConfig& cfg, std::mt19937_64& rng);
+
+}  // namespace lmds::ding

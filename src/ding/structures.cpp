@@ -1,0 +1,215 @@
+#include "ding/structures.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+
+namespace lmds::ding {
+
+Graph fan(int length) {
+  if (length < 1) throw std::invalid_argument("fan: length >= 1 required");
+  graph::GraphBuilder b(length + 2);
+  for (Vertex p = 1; p <= length + 1; ++p) {
+    b.add_edge(0, p);
+    if (p <= length) b.add_edge(p, p + 1);
+  }
+  return b.build();
+}
+
+std::array<Vertex, 3> fan_corners(int length) {
+  return {0, 1, static_cast<Vertex>(length + 1)};
+}
+
+Graph strip(int length, bool crossed) {
+  if (length < 2) throw std::invalid_argument("strip: length >= 2 required");
+  const int k = length;
+  graph::GraphBuilder b(2 * k);
+  const auto top = [](int i) { return static_cast<Vertex>(i); };
+  const auto bottom = [k](int i) { return static_cast<Vertex>(k + i); };
+  for (int i = 0; i + 1 < k; ++i) {
+    b.add_edge(top(i), top(i + 1));
+    b.add_edge(bottom(i), bottom(i + 1));
+  }
+  b.add_edge(top(0), bottom(0));
+  b.add_edge(top(k - 1), bottom(k - 1));
+  if (crossed) {
+    for (int i = 1; i + 2 < k; i += 2) {
+      b.add_edge(top(i), bottom(i + 1));
+      b.add_edge(top(i + 1), bottom(i));
+    }
+  } else {
+    for (int i = 1; i + 1 < k; ++i) b.add_edge(top(i), bottom(i));
+  }
+  return b.build();
+}
+
+std::array<Vertex, 4> strip_corners(int length) {
+  return {0, static_cast<Vertex>(length), static_cast<Vertex>(2 * length - 1),
+          static_cast<Vertex>(length - 1)};
+}
+
+int structure_radius(const Graph& g, std::span<const Vertex> corners) {
+  const auto dist = graph::bfs_distances_multi(g, corners);
+  int radius = 0;
+  for (int d : dist) radius = std::max(radius, d);
+  return radius;
+}
+
+bool is_type_one(const Graph& g, std::span<const Vertex> cycle) {
+  const int n = g.num_vertices();
+  if (static_cast<int>(cycle.size()) != n || n < 3) return false;
+  // Check Hamiltonian cycle.
+  std::vector<int> position(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const Vertex v = cycle[static_cast<std::size_t>(i)];
+    if (!g.has_vertex(v) || position[static_cast<std::size_t>(v)] != -1) return false;
+    position[static_cast<std::size_t>(v)] = i;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!g.has_edge(cycle[static_cast<std::size_t>(i)],
+                    cycle[static_cast<std::size_t>((i + 1) % n)])) {
+      return false;
+    }
+  }
+
+  // Collect chords as position pairs (i, j) with i < j.
+  struct Chord {
+    int i, j;
+  };
+  std::vector<Chord> chords;
+  for (const graph::Edge e : g.edges()) {
+    int i = position[static_cast<std::size_t>(e.u)];
+    int j = position[static_cast<std::size_t>(e.v)];
+    if (i > j) std::swap(i, j);
+    const bool cycle_edge = (j == i + 1) || (i == 0 && j == n - 1);
+    if (!cycle_edge) chords.push_back({i, j});
+  }
+
+  const auto crosses = [n](const Chord& a, const Chord& b) {
+    // Chords cross iff exactly one endpoint of b lies strictly inside the
+    // arc (a.i, a.j).
+    const auto inside = [&](int p) { return a.i < p && p < a.j; };
+    (void)n;
+    const bool bi = inside(b.i);
+    const bool bj = inside(b.j);
+    // Shared endpoints never count as crossing.
+    if (b.i == a.i || b.i == a.j || b.j == a.i || b.j == a.j) return false;
+    return bi != bj;
+  };
+  const auto cycle_adjacent = [n](int p, int q) {
+    const int d = std::abs(p - q);
+    return d == 1 || d == n - 1;
+  };
+
+  for (std::size_t x = 0; x < chords.size(); ++x) {
+    int crossings = 0;
+    for (std::size_t y = 0; y < chords.size(); ++y) {
+      if (x == y || !crosses(chords[x], chords[y])) continue;
+      ++crossings;
+      // Crossing pattern restriction: endpoints pair up along the cycle.
+      const Chord& a = chords[x];
+      const Chord& b = chords[y];
+      const bool pattern1 = cycle_adjacent(a.i, b.i) && cycle_adjacent(a.j, b.j);
+      const bool pattern2 = cycle_adjacent(a.i, b.j) && cycle_adjacent(a.j, b.i);
+      if (!pattern1 && !pattern2) return false;
+    }
+    if (crossings > 1) return false;
+  }
+  return true;
+}
+
+AugmentationBuilder::AugmentationBuilder(const Graph& base) {
+  base_vertices_ = base.num_vertices();
+  next_vertex_ = base_vertices_;
+  corner_use_.assign(static_cast<std::size_t>(base_vertices_), CornerUse::kNone);
+  for (const graph::Edge e : base.edges()) edges_.emplace_back(e.u, e.v);
+}
+
+void AugmentationBuilder::use_corner(Vertex base_vertex, CornerUse use) {
+  if (base_vertex < 0 || base_vertex >= base_vertices_) {
+    throw std::invalid_argument("augmentation: corner must map to a base vertex");
+  }
+  CornerUse& slot = corner_use_[static_cast<std::size_t>(base_vertex)];
+  if (slot == CornerUse::kNone) {
+    slot = use;
+    return;
+  }
+  // Ding's sharing rule: a shared vertex needs at least one fan centre among
+  // the two corners identified with it.
+  if (slot == CornerUse::kFanCentre || use == CornerUse::kFanCentre) {
+    if (use == CornerUse::kFanCentre) slot = CornerUse::kFanCentre;
+    return;
+  }
+  throw std::invalid_argument(
+      "augmentation: two non-centre corners may not share a base vertex");
+}
+
+std::vector<Vertex> AugmentationBuilder::attach_fan(Vertex centre_at, Vertex front_at,
+                                                    Vertex back_at, int length) {
+  if (length < 1) throw std::invalid_argument("attach_fan: length >= 1 required");
+  if (centre_at == front_at || centre_at == back_at || front_at == back_at) {
+    throw std::invalid_argument("attach_fan: corners must be distinct vertices");
+  }
+  use_corner(centre_at, CornerUse::kFanCentre);
+  use_corner(front_at, CornerUse::kOtherCorner);
+  use_corner(back_at, CornerUse::kOtherCorner);
+
+  // Path front_at = p_0, interior p_1..p_{length-1} fresh, p_length = back_at;
+  // centre adjacent to all path vertices.
+  std::vector<Vertex> interior;
+  Vertex prev = front_at;
+  b_edge(centre_at, front_at);
+  for (int i = 1; i < length; ++i) {
+    const Vertex fresh = static_cast<Vertex>(next_vertex_++);
+    interior.push_back(fresh);
+    b_edge(prev, fresh);
+    b_edge(centre_at, fresh);
+    prev = fresh;
+  }
+  b_edge(prev, back_at);
+  b_edge(centre_at, back_at);
+  return interior;
+}
+
+std::vector<Vertex> AugmentationBuilder::attach_strip(const std::array<Vertex, 4>& corners_at,
+                                                      int length, bool crossed) {
+  if (length < 2) throw std::invalid_argument("attach_strip: length >= 2 required");
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      if (corners_at[i] == corners_at[j]) {
+        throw std::invalid_argument("attach_strip: corners must be distinct vertices");
+      }
+    }
+  }
+  for (Vertex c : corners_at) use_corner(c, CornerUse::kOtherCorner);
+
+  // Recreate strip(length) with its four corners replaced by corners_at.
+  const Graph s = strip(length, crossed);
+  const auto corners = strip_corners(length);
+  std::vector<Vertex> map(static_cast<std::size_t>(s.num_vertices()), graph::kNoVertex);
+  map[static_cast<std::size_t>(corners[0])] = corners_at[0];
+  map[static_cast<std::size_t>(corners[1])] = corners_at[1];
+  map[static_cast<std::size_t>(corners[2])] = corners_at[2];
+  map[static_cast<std::size_t>(corners[3])] = corners_at[3];
+  std::vector<Vertex> interior;
+  for (Vertex v = 0; v < s.num_vertices(); ++v) {
+    if (map[static_cast<std::size_t>(v)] == graph::kNoVertex) {
+      map[static_cast<std::size_t>(v)] = static_cast<Vertex>(next_vertex_++);
+      interior.push_back(map[static_cast<std::size_t>(v)]);
+    }
+  }
+  for (const graph::Edge e : s.edges()) {
+    b_edge(map[static_cast<std::size_t>(e.u)], map[static_cast<std::size_t>(e.v)]);
+  }
+  return interior;
+}
+
+Graph AugmentationBuilder::build() const {
+  graph::GraphBuilder b(next_vertex_);
+  for (const auto& [u, v] : edges_) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace lmds::ding

@@ -1,0 +1,92 @@
+#pragma once
+// Ding's structure theory for K_{2,t}-minor-free graphs [8] (§5.4 of the
+// paper): type-I graphs (reference cycle with restricted crossing chords),
+// fans, strips, and augmentations of small base graphs.
+//
+// These structures serve two purposes here:
+//  * workload generation with certified class membership (fans are
+//    K_{2,3}-minor-free, strips K_{2,5}-minor-free, 1-sums preserve
+//    K_{2,t}-minor-freeness since K_{2,t} is 2-connected for t >= 2);
+//  * the residual-diameter experiment for Lemma 4.2 (long strips force
+//    local 2-cuts at their corners).
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::ding {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// A fan of the given length: centre vertex 0 adjacent to every vertex of
+/// the path 1..length+1. Corners (in Ding's sense) are
+/// {centre, path-front, path-back} = {0, 1, length+1}. Requires length >= 1.
+Graph fan(int length);
+
+/// Corner triple of fan(length).
+std::array<Vertex, 3> fan_corners(int length);
+
+/// A strip of the given length: two horizontal paths t_0..t_{k-1} (vertices
+/// 0..k-1) and b_0..b_{k-1} (vertices k..2k-1) closed into a reference cycle
+/// by the end edges t_0–b_0 and t_{k-1}–b_{k-1}, plus interior rungs
+/// t_i–b_i. With crossed = true the interior rungs are replaced by crossing
+/// pairs t_i–b_{i+1}, t_{i+1}–b_i (still type-I: the crossing endpoints are
+/// consecutive on the cycle). Corners are {t_0, b_0, b_{k-1}, t_{k-1}}.
+/// Requires length >= 2.
+Graph strip(int length, bool crossed = false);
+
+/// Corner quadruple of strip(length).
+std::array<Vertex, 4> strip_corners(int length);
+
+/// Radius of a strip-like structure per Ding: max over all vertices h of the
+/// distance from h to the corner set (we report max over vertices of the
+/// min-distance to a corner, the quantity that bounds brute-force locality).
+int structure_radius(const Graph& g, std::span<const Vertex> corners);
+
+/// Type-I validity check (the generalisation of outerplanar graphs used by
+/// Ding): `cycle` must be a Hamiltonian cycle of g; every chord may cross at
+/// most one other chord; and when chords ab, cd cross, either both ac, bd or
+/// both ad, bc are edges of the cycle. Returns false when `cycle` is not a
+/// Hamiltonian cycle.
+bool is_type_one(const Graph& g, std::span<const Vertex> cycle);
+
+/// Incrementally attaches disjoint fans and strips to a base graph by corner
+/// identification — Ding's "augmentation". The constraint from [8] is
+/// enforced: two corners may share a base vertex only if one of them is a
+/// fan centre and the other is a fan centre or strip corner.
+class AugmentationBuilder {
+ public:
+  explicit AugmentationBuilder(const Graph& base);
+
+  /// Attaches a fan, identifying (centre, front, back) with the three
+  /// distinct base vertices given. Returns the indices of the new interior
+  /// path vertices.
+  std::vector<Vertex> attach_fan(Vertex centre_at, Vertex front_at, Vertex back_at, int length);
+
+  /// Attaches a strip, identifying its four corners with the distinct base
+  /// vertices given. Returns the indices of the new interior vertices.
+  std::vector<Vertex> attach_strip(const std::array<Vertex, 4>& corners_at, int length,
+                                   bool crossed = false);
+
+  /// Number of vertices in the graph built so far.
+  int num_vertices() const { return next_vertex_; }
+
+  /// The augmented graph.
+  Graph build() const;
+
+ private:
+  enum class CornerUse { kNone, kFanCentre, kOtherCorner };
+
+  void use_corner(Vertex base_vertex, CornerUse use);
+  void b_edge(Vertex u, Vertex v) { edges_.emplace_back(u, v); }
+
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+  std::vector<CornerUse> corner_use_;
+  int base_vertices_ = 0;
+  int next_vertex_ = 0;
+};
+
+}  // namespace lmds::ding

@@ -1,0 +1,151 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace lmds::graph {
+
+namespace {
+
+// Shared BFS kernel: distances from all sources, optional radius cap
+// (radius < 0 means unbounded), optional vertex mask (mask[v] == false means
+// v is treated as deleted; mask may be empty meaning "all alive").
+std::vector<int> bfs_kernel(const Graph& g, std::span<const Vertex> sources, int radius,
+                            std::span<const char> mask) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<Vertex> queue;
+  for (Vertex s : sources) {
+    if (!g.has_vertex(s)) throw std::invalid_argument("bfs: source out of range");
+    if (!mask.empty() && !mask[static_cast<std::size_t>(s)]) continue;
+    if (dist[static_cast<std::size_t>(s)] == -1) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      queue.push(s);
+    }
+  }
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop();
+    const int du = dist[static_cast<std::size_t>(u)];
+    if (radius >= 0 && du >= radius) continue;
+    for (Vertex w : g.neighbors(u)) {
+      if (!mask.empty() && !mask[static_cast<std::size_t>(w)]) continue;
+      if (dist[static_cast<std::size_t>(w)] == -1) {
+        dist[static_cast<std::size_t>(w)] = du + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Graph& g, Vertex src) {
+  const Vertex sources[] = {src};
+  return bfs_kernel(g, sources, -1, {});
+}
+
+std::vector<int> bfs_distances_multi(const Graph& g, std::span<const Vertex> sources) {
+  return bfs_kernel(g, sources, -1, {});
+}
+
+std::vector<Vertex> ball(const Graph& g, Vertex v, int r) {
+  const Vertex sources[] = {v};
+  return ball_of_set(g, sources, r);
+}
+
+std::vector<Vertex> ball_of_set(const Graph& g, std::span<const Vertex> sources, int r) {
+  const auto dist = bfs_kernel(g, sources, r, {});
+  std::vector<Vertex> result;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] >= 0) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<std::vector<Vertex>> Components::groups() const {
+  std::vector<std::vector<Vertex>> result(static_cast<std::size_t>(count));
+  for (Vertex v = 0; v < static_cast<Vertex>(component.size()); ++v) {
+    const int c = component[static_cast<std::size_t>(v)];
+    if (c >= 0) result[static_cast<std::size_t>(c)].push_back(v);
+  }
+  return result;
+}
+
+Components connected_components(const Graph& g) { return components_without(g, {}); }
+
+Components components_without(const Graph& g, std::span<const Vertex> removed) {
+  std::vector<char> alive(static_cast<std::size_t>(g.num_vertices()), 1);
+  for (Vertex v : removed) {
+    if (!g.has_vertex(v)) throw std::invalid_argument("components_without: vertex out of range");
+    alive[static_cast<std::size_t>(v)] = 0;
+  }
+  Components result;
+  result.component.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    if (!alive[static_cast<std::size_t>(s)] || result.component[static_cast<std::size_t>(s)] != -1)
+      continue;
+    const int id = result.count++;
+    std::queue<Vertex> queue;
+    queue.push(s);
+    result.component[static_cast<std::size_t>(s)] = id;
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop();
+      for (Vertex w : g.neighbors(u)) {
+        if (!alive[static_cast<std::size_t>(w)]) continue;
+        if (result.component[static_cast<std::size_t>(w)] == -1) {
+          result.component[static_cast<std::size_t>(w)] = id;
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+int eccentricity(const Graph& g, Vertex v) {
+  const auto dist = bfs_distances(g, v);
+  int ecc = 0;
+  for (int d : dist) {
+    if (d == -1) return -1;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  int diam = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const int ecc = eccentricity(g, v);
+    if (ecc == -1) return -1;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+int weak_diameter(const Graph& g, std::span<const Vertex> s) {
+  int result = 0;
+  for (Vertex v : s) {
+    const auto dist = bfs_distances(g, v);
+    for (Vertex u : s) {
+      const int d = dist[static_cast<std::size_t>(u)];
+      if (d == -1) return -1;
+      result = std::max(result, d);
+    }
+  }
+  return result;
+}
+
+int distance(const Graph& g, Vertex u, Vertex v) {
+  const auto dist = bfs_distances(g, u);
+  return dist[static_cast<std::size_t>(v)];
+}
+
+}  // namespace lmds::graph

@@ -1,0 +1,61 @@
+#pragma once
+// Breadth-first-search utilities: distances, balls N^r[·], connected
+// components, eccentricities, diameter and weak diameter. These are the
+// primitives the LOCAL-model view gathering and the local-cut machinery are
+// expressed with.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::graph {
+
+/// Distances from src; -1 for unreachable vertices.
+std::vector<int> bfs_distances(const Graph& g, Vertex src);
+
+/// Distances from the nearest of the given sources; -1 for unreachable.
+std::vector<int> bfs_distances_multi(const Graph& g, std::span<const Vertex> sources);
+
+/// Sorted ball N^r[v]: all vertices at distance <= r from v.
+std::vector<Vertex> ball(const Graph& g, Vertex v, int r);
+
+/// Sorted ball N^r[S] around a set of sources.
+std::vector<Vertex> ball_of_set(const Graph& g, std::span<const Vertex> sources, int r);
+
+/// Result of a connected-components labelling.
+struct Components {
+  std::vector<int> component;  ///< component id per vertex, 0..count-1
+  int count = 0;
+
+  /// Vertices of each component, sorted.
+  std::vector<std::vector<Vertex>> groups() const;
+};
+
+/// Connected components of g.
+Components connected_components(const Graph& g);
+
+/// Connected components of g with the given vertices deleted. Removed
+/// vertices get component id -1.
+Components components_without(const Graph& g, std::span<const Vertex> removed);
+
+/// True iff g is connected (the empty graph counts as connected).
+bool is_connected(const Graph& g);
+
+/// Eccentricity of v (max distance to any reachable vertex); -1 if g has
+/// unreachable vertices from v.
+int eccentricity(const Graph& g, Vertex v);
+
+/// Diameter; -1 if disconnected. O(n·m) — intended for tests and benches on
+/// moderate instances.
+int diameter(const Graph& g);
+
+/// Weak diameter of the set S: max over u,v in S of d_G(u, v), where
+/// distances are measured in the *whole* graph g. Returns -1 if some pair is
+/// disconnected in g. This is the notion used by asymptotic dimension (§3).
+int weak_diameter(const Graph& g, std::span<const Vertex> s);
+
+/// Distance between two vertices (-1 if disconnected).
+int distance(const Graph& g, Vertex u, Vertex v);
+
+}  // namespace lmds::graph

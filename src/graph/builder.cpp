@@ -1,0 +1,39 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lmds::graph {
+
+Vertex GraphBuilder::add_vertex() {
+  adjacency_.emplace_back();
+  return static_cast<Vertex>(adjacency_.size() - 1);
+}
+
+void GraphBuilder::ensure_vertices(int n) {
+  if (n > num_vertices()) adjacency_.resize(static_cast<std::size_t>(n));
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  if (u < 0 || v < 0) throw std::invalid_argument("GraphBuilder: negative vertex index");
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop not allowed");
+  ensure_vertices(std::max(u, v) + 1);
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+void GraphBuilder::add_path(const std::vector<Vertex>& vertices) {
+  for (std::size_t i = 0; i + 1 < vertices.size(); ++i) {
+    add_edge(vertices[i], vertices[i + 1]);
+  }
+}
+
+void GraphBuilder::add_cycle(const std::vector<Vertex>& vertices) {
+  if (vertices.size() < 3) throw std::invalid_argument("GraphBuilder: cycle needs >= 3 vertices");
+  add_path(vertices);
+  add_edge(vertices.back(), vertices.front());
+}
+
+Graph GraphBuilder::build() const { return Graph(adjacency_); }
+
+}  // namespace lmds::graph

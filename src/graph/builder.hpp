@@ -1,0 +1,51 @@
+#pragma once
+// Mutable builder for Graph. Accumulates edges (duplicates and both
+// orientations are fine), then produces the immutable CSR Graph.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::graph {
+
+/// Incremental graph construction. Example:
+///
+///   GraphBuilder b(4);
+///   b.add_edge(0, 1);
+///   b.add_edge(1, 2);
+///   Graph g = b.build();
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-creates n isolated vertices 0..n-1.
+  explicit GraphBuilder(int n) : adjacency_(static_cast<std::size_t>(n)) {}
+
+  /// Number of vertices currently allocated.
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Adds a new isolated vertex and returns its index.
+  Vertex add_vertex();
+
+  /// Ensures vertices 0..n-1 exist.
+  void ensure_vertices(int n);
+
+  /// Adds the undirected edge {u, v}. Vertices are created on demand.
+  /// Self-loops are rejected (throws std::invalid_argument); duplicate edges
+  /// are deduplicated at build time.
+  void add_edge(Vertex u, Vertex v);
+
+  /// Convenience: adds a path u0-u1-...-uk along the given vertices.
+  void add_path(const std::vector<Vertex>& vertices);
+
+  /// Convenience: adds a cycle along the given vertices (requires >= 3).
+  void add_cycle(const std::vector<Vertex>& vertices);
+
+  /// Produces the immutable graph. The builder remains usable afterwards.
+  Graph build() const;
+
+ private:
+  std::vector<std::vector<Vertex>> adjacency_;
+};
+
+}  // namespace lmds::graph

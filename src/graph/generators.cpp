@@ -1,0 +1,267 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace lmds::graph::gen {
+
+namespace {
+
+void require(bool cond, const char* message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+Graph path(int n) {
+  require(n >= 1, "path: n >= 1 required");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle(int n) {
+  require(n >= 3, "cycle: n >= 3 required");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+Graph star(int n) {
+  require(n >= 1, "star: n >= 1 required");
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph complete(int n) {
+  require(n >= 1, "complete: n >= 1 required");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph complete_bipartite(int s, int t) {
+  require(s >= 1 && t >= 1, "complete_bipartite: s, t >= 1 required");
+  GraphBuilder b(s + t);
+  for (Vertex u = 0; u < s; ++u) {
+    for (Vertex v = s; v < s + t; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph grid(int rows, int cols) {
+  require(rows >= 1 && cols >= 1, "grid: rows, cols >= 1 required");
+  GraphBuilder b(rows * cols);
+  const auto id = [cols](int r, int c) { return static_cast<Vertex>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph wheel(int n) {
+  require(n >= 4, "wheel: n >= 4 required");
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) {
+    b.add_edge(0, v);
+    b.add_edge(v, v + 1 < n ? v + 1 : 1);
+  }
+  return b.build();
+}
+
+Graph spider(int legs, int leg_length) {
+  require(legs >= 1 && leg_length >= 1, "spider: legs, leg_length >= 1 required");
+  GraphBuilder b(1 + legs * leg_length);
+  Vertex next = 1;
+  for (int leg = 0; leg < legs; ++leg) {
+    Vertex prev = 0;
+    for (int i = 0; i < leg_length; ++i) {
+      b.add_edge(prev, next);
+      prev = next++;
+    }
+  }
+  return b.build();
+}
+
+Graph random_tree(int n, std::mt19937_64& rng) {
+  require(n >= 1, "random_tree: n >= 1 required");
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) {
+    std::uniform_int_distribution<Vertex> pick(0, v - 1);
+    b.add_edge(v, pick(rng));
+  }
+  return b.build();
+}
+
+Graph caterpillar(int spine, int legs) {
+  require(spine >= 1 && legs >= 0, "caterpillar: spine >= 1, legs >= 0 required");
+  GraphBuilder b(spine * (1 + legs));
+  for (Vertex v = 0; v + 1 < spine; ++v) b.add_edge(v, v + 1);
+  Vertex next = spine;
+  for (Vertex v = 0; v < spine; ++v) {
+    for (int leg = 0; leg < legs; ++leg) b.add_edge(v, next++);
+  }
+  return b.build();
+}
+
+Graph theta_chain(int links, int parallel) {
+  require(links >= 1, "theta_chain: links >= 1 required");
+  require(parallel >= 1, "theta_chain: parallel >= 1 required");
+  GraphBuilder b(links + 1);
+  Vertex next = static_cast<Vertex>(links + 1);
+  for (int link = 0; link < links; ++link) {
+    const Vertex left = static_cast<Vertex>(link);
+    const Vertex right = static_cast<Vertex>(link + 1);
+    for (int p = 0; p < parallel; ++p) {
+      b.add_edge(left, next);
+      b.add_edge(next, right);
+      ++next;
+    }
+  }
+  return b.build();
+}
+
+Graph clique_with_pendants(int n) {
+  require(n >= 2, "clique_with_pendants: n >= 2 required");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  Vertex next = static_cast<Vertex>(n);
+  for (Vertex v = 1; v < n; ++v) {
+    b.add_edge(0, next);
+    b.add_edge(v, next);
+    ++next;
+  }
+  return b.build();
+}
+
+Graph apollonian(int n, std::mt19937_64& rng) {
+  require(n >= 3, "apollonian: n >= 3 required");
+  GraphBuilder b(n);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  std::vector<std::array<Vertex, 3>> faces = {{0, 1, 2}};
+  for (Vertex v = 3; v < n; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, faces.size() - 1);
+    const std::size_t f = pick(rng);
+    const auto [a, c, d] = faces[f];
+    b.add_edge(v, a);
+    b.add_edge(v, c);
+    b.add_edge(v, d);
+    faces[f] = {a, c, v};
+    faces.push_back({a, d, v});
+    faces.push_back({c, d, v});
+  }
+  return b.build();
+}
+
+namespace {
+
+// Adds a uniformly random triangulation of the polygon i..j (indices along
+// the outer cycle) to the builder. Uses the standard recursive split: the
+// edge (i, j) picks a random apex k strictly between them.
+void triangulate(GraphBuilder& b, Vertex i, Vertex j, std::mt19937_64& rng) {
+  if (j - i < 2) return;
+  std::uniform_int_distribution<Vertex> pick(i + 1, j - 1);
+  const Vertex k = pick(rng);
+  if (k - i >= 2) b.add_edge(i, k);
+  if (j - k >= 2) b.add_edge(k, j);
+  triangulate(b, i, k, rng);
+  triangulate(b, k, j, rng);
+}
+
+}  // namespace
+
+Graph random_maximal_outerplanar(int n, std::mt19937_64& rng) {
+  require(n >= 3, "random_maximal_outerplanar: n >= 3 required");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  triangulate(b, 0, static_cast<Vertex>(n - 1), rng);
+  return b.build();
+}
+
+Graph random_outerplanar(int n, double keep_chord, std::mt19937_64& rng) {
+  const Graph maximal = random_maximal_outerplanar(n, rng);
+  GraphBuilder b(n);
+  std::bernoulli_distribution keep(keep_chord);
+  for (const Edge e : maximal.edges()) {
+    const bool cycle_edge = (e.v == e.u + 1) || (e.u == 0 && e.v == n - 1);
+    if (cycle_edge || keep(rng)) b.add_edge(e.u, e.v);
+  }
+  return b.build();
+}
+
+Graph random_max_degree(int n, int max_degree, int extra_edges, std::mt19937_64& rng) {
+  require(n >= 1, "random_max_degree: n >= 1 required");
+  require(max_degree >= 2 || n <= max_degree + 1, "random_max_degree: max_degree too small");
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  GraphBuilder b(n);
+  // Degree-capped random tree: attach each vertex to a random earlier vertex
+  // with spare capacity.
+  for (Vertex v = 1; v < n; ++v) {
+    std::vector<Vertex> candidates;
+    for (Vertex u = 0; u < v; ++u) {
+      if (degree[static_cast<std::size_t>(u)] < max_degree) candidates.push_back(u);
+    }
+    require(!candidates.empty(), "random_max_degree: no attachment point (cap too tight)");
+    std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+    const Vertex u = candidates[pick(rng)];
+    b.add_edge(u, v);
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  }
+  Graph tree = b.build();
+  // Extra edges subject to the cap.
+  int added = 0;
+  int attempts = 0;
+  std::uniform_int_distribution<Vertex> pick(0, static_cast<Vertex>(n - 1));
+  while (added < extra_edges && attempts < 50 * std::max(1, extra_edges)) {
+    ++attempts;
+    const Vertex u = pick(rng);
+    const Vertex v = pick(rng);
+    if (u == v || tree.has_edge(u, v)) continue;
+    if (degree[static_cast<std::size_t>(u)] >= max_degree ||
+        degree[static_cast<std::size_t>(v)] >= max_degree)
+      continue;
+    b.add_edge(u, v);
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+    tree = b.build();
+    ++added;
+  }
+  return tree;
+}
+
+Graph random_connected(int n, int extra_edges, std::mt19937_64& rng) {
+  Graph tree = random_tree(n, rng);
+  GraphBuilder b(n);
+  for (const Edge e : tree.edges()) b.add_edge(e.u, e.v);
+  int added = 0;
+  int attempts = 0;
+  std::uniform_int_distribution<Vertex> pick(0, static_cast<Vertex>(n - 1));
+  Graph current = tree;
+  while (added < extra_edges && attempts < 50 * std::max(1, extra_edges)) {
+    ++attempts;
+    const Vertex u = pick(rng);
+    const Vertex v = pick(rng);
+    if (u == v || current.has_edge(u, v)) continue;
+    b.add_edge(u, v);
+    current = b.build();
+    ++added;
+  }
+  return current;
+}
+
+}  // namespace lmds::graph::gen

@@ -1,0 +1,74 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace lmds::graph {
+
+Graph read_edge_list(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank line
+    if (first == "n") {
+      int n = 0;
+      if (!(ls >> n) || n < 0) throw std::runtime_error("read_edge_list: bad vertex count");
+      builder.ensure_vertices(n);
+      continue;
+    }
+    Vertex u = 0;
+    Vertex v = 0;
+    try {
+      u = static_cast<Vertex>(std::stol(first));
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_edge_list: bad vertex token '" + first + "'");
+    }
+    if (!(ls >> v)) throw std::runtime_error("read_edge_list: missing second endpoint");
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "n " << g.num_vertices() << "\n";
+  for (const Edge e : g.edges()) out << e.u << " " << e.v << "\n";
+}
+
+void write_dot(std::ostream& out, const Graph& g, std::span<const Vertex> highlight) {
+  std::vector<char> marked(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : highlight) {
+    if (g.has_vertex(v)) marked[static_cast<std::size_t>(v)] = 1;
+  }
+  out << "graph G {\n  node [shape=circle];\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    out << "  " << v;
+    if (marked[static_cast<std::size_t>(v)]) {
+      out << " [style=filled, fillcolor=lightblue]";
+    }
+    out << ";\n";
+  }
+  for (const Edge e : g.edges()) out << "  " << e.u << " -- " << e.v << ";\n";
+  out << "}\n";
+}
+
+std::string to_dot(const Graph& g, std::span<const Vertex> highlight) {
+  std::ostringstream out;
+  write_dot(out, g, highlight);
+  return out.str();
+}
+
+}  // namespace lmds::graph

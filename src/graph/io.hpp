@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text graph I/O: edge-list (one "u v" pair per line, '#' comments) and
+// Graphviz DOT export for debugging and the example programs.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lmds::graph {
+
+/// Reads an edge-list graph. Format: optional first line "n <count>";
+/// remaining non-comment lines are "u v" pairs. Vertices are created on
+/// demand. Throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Parses a graph from an edge-list string (same format as read_edge_list).
+Graph parse_edge_list(const std::string& text);
+
+/// Writes "n <count>" followed by one "u v" line per edge.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Graphviz DOT output. Vertices in `highlight` are drawn filled — used by
+/// the examples to visualise computed dominating sets.
+void write_dot(std::ostream& out, const Graph& g, std::span<const Vertex> highlight = {});
+
+/// DOT output as a string (convenience for examples).
+std::string to_dot(const Graph& g, std::span<const Vertex> highlight = {});
+
+}  // namespace lmds::graph

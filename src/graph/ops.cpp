@@ -1,0 +1,157 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+
+namespace lmds::graph {
+
+std::vector<Vertex> Subgraph::lift(std::span<const Vertex> sub_vertices) const {
+  std::vector<Vertex> result;
+  result.reserve(sub_vertices.size());
+  for (Vertex v : sub_vertices) result.push_back(to_parent[static_cast<std::size_t>(v)]);
+  return result;
+}
+
+Subgraph induced_subgraph(const Graph& g, std::span<const Vertex> vertices) {
+  Subgraph result;
+  result.to_parent.assign(vertices.begin(), vertices.end());
+  std::sort(result.to_parent.begin(), result.to_parent.end());
+  if (std::adjacent_find(result.to_parent.begin(), result.to_parent.end()) !=
+      result.to_parent.end()) {
+    throw std::invalid_argument("induced_subgraph: duplicate vertices");
+  }
+  result.from_parent.assign(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+  for (std::size_t i = 0; i < result.to_parent.size(); ++i) {
+    const Vertex p = result.to_parent[i];
+    if (!g.has_vertex(p)) throw std::invalid_argument("induced_subgraph: vertex out of range");
+    result.from_parent[static_cast<std::size_t>(p)] = static_cast<Vertex>(i);
+  }
+  std::vector<std::vector<Vertex>> adjacency(result.to_parent.size());
+  for (std::size_t i = 0; i < result.to_parent.size(); ++i) {
+    for (Vertex w : g.neighbors(result.to_parent[i])) {
+      const Vertex j = result.from_parent[static_cast<std::size_t>(w)];
+      if (j != kNoVertex) adjacency[i].push_back(j);
+    }
+  }
+  result.graph = Graph(adjacency);
+  return result;
+}
+
+Subgraph remove_vertices(const Graph& g, std::span<const Vertex> vertices) {
+  std::vector<char> removed(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : vertices) {
+    if (!g.has_vertex(v)) throw std::invalid_argument("remove_vertices: vertex out of range");
+    removed[static_cast<std::size_t>(v)] = 1;
+  }
+  std::vector<Vertex> keep;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!removed[static_cast<std::size_t>(v)]) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+TwinReduction remove_true_twins(const Graph& g) {
+  // Group vertices by their sorted closed neighbourhood.
+  std::map<std::vector<Vertex>, std::vector<Vertex>> classes;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    classes[g.closed_neighborhood(v)].push_back(v);
+  }
+  TwinReduction result;
+  result.representative.assign(static_cast<std::size_t>(g.num_vertices()), kNoVertex);
+  std::vector<Vertex> reps;
+  for (const auto& [nbhd, members] : classes) {
+    const Vertex rep = *std::min_element(members.begin(), members.end());
+    reps.push_back(rep);
+    for (Vertex v : members) result.representative[static_cast<std::size_t>(v)] = rep;
+  }
+  std::sort(reps.begin(), reps.end());
+  result.num_classes = static_cast<int>(reps.size());
+  result.reduced = induced_subgraph(g, reps);
+  return result;
+}
+
+std::vector<Vertex> TwinReduction::lift_solution(std::span<const Vertex> reduced_solution) const {
+  return reduced.lift(reduced_solution);
+}
+
+Graph contract_partition(const Graph& g, const std::vector<std::vector<Vertex>>& parts) {
+  std::vector<int> part_of(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty()) throw std::invalid_argument("contract_partition: empty part");
+    for (Vertex v : parts[i]) {
+      if (!g.has_vertex(v)) throw std::invalid_argument("contract_partition: vertex out of range");
+      if (part_of[static_cast<std::size_t>(v)] != -1) {
+        throw std::invalid_argument("contract_partition: parts overlap");
+      }
+      part_of[static_cast<std::size_t>(v)] = static_cast<int>(i);
+    }
+  }
+  GraphBuilder b(static_cast<int>(parts.size()));
+  for (const Edge e : g.edges()) {
+    const int pu = part_of[static_cast<std::size_t>(e.u)];
+    const int pv = part_of[static_cast<std::size_t>(e.v)];
+    if (pu == -1 || pv == -1 || pu == pv) continue;
+    b.add_edge(static_cast<Vertex>(pu), static_cast<Vertex>(pv));
+  }
+  return b.build();
+}
+
+Graph power(const Graph& g, int r) {
+  if (r < 1) throw std::invalid_argument("power: r must be >= 1");
+  std::vector<std::vector<Vertex>> adjacency(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : ball(g, v, r)) {
+      if (w != v) adjacency[static_cast<std::size_t>(v)].push_back(w);
+    }
+  }
+  return Graph(adjacency);
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  GraphBuilder builder(a.num_vertices() + b.num_vertices());
+  for (const Edge e : a.edges()) builder.add_edge(e.u, e.v);
+  const Vertex shift = a.num_vertices();
+  for (const Edge e : b.edges()) builder.add_edge(e.u + shift, e.v + shift);
+  return builder.build();
+}
+
+std::vector<std::vector<Vertex>> r_components(const Graph& g, std::span<const Vertex> s, int r) {
+  if (r < 1) throw std::invalid_argument("r_components: r must be >= 1");
+  std::vector<char> in_s(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : s) {
+    if (!g.has_vertex(v)) throw std::invalid_argument("r_components: vertex out of range");
+    in_s[static_cast<std::size_t>(v)] = 1;
+  }
+  std::vector<int> comp(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<std::vector<Vertex>> result;
+  for (Vertex start : s) {
+    if (comp[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = static_cast<int>(result.size());
+    result.emplace_back();
+    std::queue<Vertex> queue;
+    queue.push(start);
+    comp[static_cast<std::size_t>(start)] = id;
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop();
+      result.back().push_back(u);
+      // All S-vertices within distance r of u join the same r-component.
+      for (Vertex w : ball(g, u, r)) {
+        if (w == u || !in_s[static_cast<std::size_t>(w)]) continue;
+        if (comp[static_cast<std::size_t>(w)] == -1) {
+          comp[static_cast<std::size_t>(w)] = id;
+          queue.push(w);
+        }
+      }
+    }
+    std::sort(result.back().begin(), result.back().end());
+  }
+  return result;
+}
+
+}  // namespace lmds::graph

@@ -1,0 +1,67 @@
+#pragma once
+// Structural graph operations: induced subgraphs (with parent mappings),
+// vertex deletion, true-twin reduction (§2 "true-twin-less graph"),
+// contractions (used by the minor machinery), graph powers (used by
+// r-components in the asymptotic-dimension module) and disjoint unions.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::graph {
+
+/// An induced subgraph together with the mapping back to the parent graph.
+struct Subgraph {
+  Graph graph;                     ///< the induced subgraph, vertices relabelled 0..k-1
+  std::vector<Vertex> to_parent;   ///< to_parent[i] = vertex of the parent graph
+  std::vector<Vertex> from_parent; ///< from_parent[v] = index in subgraph, or kNoVertex
+
+  /// Maps a set of subgraph vertices back to parent indices.
+  std::vector<Vertex> lift(std::span<const Vertex> sub_vertices) const;
+};
+
+/// Induced subgraph on the given vertices (need not be sorted; duplicates are
+/// an error).
+Subgraph induced_subgraph(const Graph& g, std::span<const Vertex> vertices);
+
+/// Induced subgraph on V(g) minus the given vertices.
+Subgraph remove_vertices(const Graph& g, std::span<const Vertex> vertices);
+
+/// Result of collapsing all true-twin classes to one representative each
+/// (the paper's "true-twin-less graph associated to G", §2). The
+/// representative of each class is its minimum vertex. MDS is preserved:
+/// MDS(G⁻) = MDS(G), and any dominating set of G⁻ dominates G.
+struct TwinReduction {
+  Subgraph reduced;                  ///< induced subgraph on representatives
+  std::vector<Vertex> representative;///< representative[v] = class rep of v in the parent graph
+  int num_classes = 0;
+
+  /// Lifts a dominating set of the reduced graph to a dominating set of the
+  /// parent graph (identity on representatives).
+  std::vector<Vertex> lift_solution(std::span<const Vertex> reduced_solution) const;
+};
+
+/// Computes the true-twin reduction of g. Runs in O(m log m).
+TwinReduction remove_true_twins(const Graph& g);
+
+/// Contracts each part of the given partition to a single vertex. Parts must
+/// be non-empty and disjoint but need not cover V(g); uncovered vertices are
+/// dropped. Part i becomes vertex i; an edge {i, j} exists iff some edge of g
+/// joins part i and part j. Parts are NOT required to induce connected
+/// subgraphs (callers that need minors must ensure connectivity themselves;
+/// see minor/minor_check.hpp).
+Graph contract_partition(const Graph& g, const std::vector<std::vector<Vertex>>& parts);
+
+/// r-th graph power: u ~ v iff 1 <= d_g(u, v) <= r.
+Graph power(const Graph& g, int r);
+
+/// Disjoint union; vertices of b are shifted by a.num_vertices().
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// The "r-components" of a vertex set S (Section 3): connected components of
+/// the graph on S where u ~ v iff d_G(u, v) <= r (distances in the whole
+/// graph). Returns the components as sorted vertex lists.
+std::vector<std::vector<Vertex>> r_components(const Graph& g, std::span<const Vertex> s, int r);
+
+}  // namespace lmds::graph

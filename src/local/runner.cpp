@@ -1,0 +1,23 @@
+#include "local/runner.hpp"
+
+namespace lmds::local {
+
+RunResult run_ball_algorithm(const Network& net, int radius, const BallDecision& decide) {
+  RunResult result;
+  const auto views = gather_views(net, radius, &result.traffic);
+  for (Vertex v = 0; v < net.num_nodes(); ++v) {
+    if (decide(views[static_cast<std::size_t>(v)])) result.selected.push_back(v);
+  }
+  return result;
+}
+
+RunResult run_ball_algorithm_fast(const Network& net, int radius, const BallDecision& decide) {
+  RunResult result;
+  result.traffic.rounds = radius + 1;
+  for (Vertex v = 0; v < net.num_nodes(); ++v) {
+    if (decide(cut_view(net, v, radius))) result.selected.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace lmds::local

@@ -1,0 +1,34 @@
+#pragma once
+// Adapters that run ball-decision functions as LOCAL algorithms.
+//
+// A BallDecision is a pure function BallView -> bool ("do I join the output
+// set?"). run_ball_algorithm gathers radius-r views through the
+// message-passing simulator and applies the decision at every node,
+// reporting the measured rounds/messages/bytes. run_ball_algorithm_fast
+// computes the same output through cut views (no traffic simulation) — the
+// two are tested to agree, and benches choose per their needs.
+
+#include <functional>
+
+#include "local/view.hpp"
+
+namespace lmds::local {
+
+/// Decision function of a single node given its view.
+using BallDecision = std::function<bool(const BallView&)>;
+
+/// Output of a LOCAL execution.
+struct RunResult {
+  std::vector<Vertex> selected;  ///< vertices (global indices) that joined
+  TrafficStats traffic;
+};
+
+/// Full message-passing execution: radius-r views in r+1 rounds, then apply
+/// `decide` at every node.
+RunResult run_ball_algorithm(const Network& net, int radius, const BallDecision& decide);
+
+/// Same output, computed without simulating traffic (traffic reports the
+/// model cost: rounds = radius + 1, messages/bytes = 0).
+RunResult run_ball_algorithm_fast(const Network& net, int radius, const BallDecision& decide);
+
+}  // namespace lmds::local

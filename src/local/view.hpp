@@ -1,0 +1,40 @@
+#pragma once
+// Ball views: what a node actually knows after r+1 rounds of flooding —
+// the induced subgraph on N^r[v] with identifiers and distances. Every
+// LOCAL algorithm in this library is a pure function of a BallView, which
+// makes locality true by construction: the decision code cannot read
+// anything the protocol did not deliver.
+
+#include <vector>
+
+#include "local/simulator.hpp"
+
+namespace lmds::local {
+
+/// A radius-r view centred at some node.
+struct BallView {
+  Graph graph;                ///< induced subgraph on N^r[centre], re-indexed
+  std::vector<NodeId> ids;    ///< ids[i] = global identifier of local vertex i
+  std::vector<int> dist;      ///< dist[i] = distance from the centre
+  Vertex centre = 0;          ///< local index of the view's centre
+  int radius = 0;
+
+  int num_vertices() const { return graph.num_vertices(); }
+
+  /// Local index of the vertex with the given identifier, or kNoVertex.
+  Vertex local_index_of(NodeId id) const;
+
+  /// Vertices at distance <= k from the centre (k <= radius), sorted.
+  std::vector<Vertex> inner_ball(int k) const;
+};
+
+/// Gathers the radius-r views of all nodes by running r+1 flooding rounds.
+/// If stats is non-null, the traffic of this phase is added to it.
+std::vector<BallView> gather_views(const Network& net, int radius, TrafficStats* stats = nullptr);
+
+/// Reference implementation that bypasses message passing and cuts the view
+/// directly out of the topology. gather_views must agree with this exactly
+/// (tested); benches use it when only decisions, not traffic, matter.
+BallView cut_view(const Network& net, Vertex centre, int radius);
+
+}  // namespace lmds::local

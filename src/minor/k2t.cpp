@@ -1,0 +1,46 @@
+#include "minor/k2t.hpp"
+
+#include <algorithm>
+
+#include "minor/minor_check.hpp"
+
+namespace lmds::minor {
+
+int max_k2t_singleton_hubs(const Graph& g) {
+  int best = 0;
+  for (Vertex a = 0; a < g.num_vertices(); ++a) {
+    for (Vertex b = a + 1; b < g.num_vertices(); ++b) {
+      best = std::max(best, max_disjoint_connectors(g, a, b));
+    }
+  }
+  return best;
+}
+
+int max_k2t(const Graph& g, int max_hub_size) {
+  if (max_hub_size <= 1) return max_k2t_singleton_hubs(g);
+  const auto subsets = connected_subsets(g, max_hub_size);
+  int best = 0;
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    for (std::size_t j = i + 1; j < subsets.size(); ++j) {
+      // Hubs must be disjoint.
+      const auto& a = subsets[i];
+      const auto& b = subsets[j];
+      bool disjoint = true;
+      for (Vertex v : a) {
+        if (std::binary_search(b.begin(), b.end(), v)) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) continue;
+      best = std::max(best, max_disjoint_connectors(g, a, b));
+    }
+  }
+  return best;
+}
+
+bool is_k2t_minor_free(const Graph& g, int t, int max_hub_size) {
+  return max_k2t(g, max_hub_size) < t;
+}
+
+}  // namespace lmds::minor

@@ -1,0 +1,33 @@
+#pragma once
+// K_{2,t}-minor detection.
+//
+// `max_k2t(g, max_hub_size)` returns the largest t such that a K_{2,t} minor
+// with hub branch sets of size <= max_hub_size exists (0 when even K_{2,1}
+// is absent). With max_hub_size >= n this is exact; the default of 3 is
+// exact on all the structured families this library generates (theta chains,
+// fans, strips, outerplanar blocks — their optimal hubs are single vertices
+// or short paths) and is a lower bound in general. Generators certified "by
+// construction" are additionally cross-checked against this in tests on
+// small instances.
+
+#include "graph/graph.hpp"
+
+namespace lmds::minor {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Largest t such that g has a K_{2,t} minor with connected hub sets of size
+/// at most max_hub_size. Exact lower bound on the true maximum; exact value
+/// when the true optimum uses hubs that small.
+int max_k2t(const Graph& g, int max_hub_size = 3);
+
+/// Fast variant restricted to singleton hubs (all vertex pairs).
+int max_k2t_singleton_hubs(const Graph& g);
+
+/// True iff no K_{2,t} minor was found with hubs of size <= max_hub_size.
+/// (For certified generator families this equals true K_{2,t}-minor-freeness;
+/// see header comment.)
+bool is_k2t_minor_free(const Graph& g, int t, int max_hub_size = 3);
+
+}  // namespace lmds::minor

@@ -1,0 +1,167 @@
+#include "minor/minor_check.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace lmds::minor {
+
+namespace {
+
+// Unit-vertex-capacity max flow from a super-source (hub A) to a super-sink
+// (hub B) via node splitting: every non-hub vertex v becomes v_in -> v_out
+// with capacity 1; edges get capacity 1 in both directions between the
+// corresponding in/out copies. BFS augmenting paths (Edmonds-Karp); the flow
+// value is bounded by max degree so this is fast.
+class VertexFlow {
+ public:
+  VertexFlow(const Graph& g, std::span<const Vertex> a, std::span<const Vertex> b) {
+    const int n = g.num_vertices();
+    role_.assign(static_cast<std::size_t>(n), Role::kFree);
+    for (Vertex v : a) {
+      if (!g.has_vertex(v)) throw std::invalid_argument("connectors: bad hub vertex");
+      role_[static_cast<std::size_t>(v)] = Role::kSource;
+    }
+    for (Vertex v : b) {
+      if (!g.has_vertex(v)) throw std::invalid_argument("connectors: bad hub vertex");
+      if (role_[static_cast<std::size_t>(v)] == Role::kSource) {
+        throw std::invalid_argument("connectors: hubs must be disjoint");
+      }
+      role_[static_cast<std::size_t>(v)] = Role::kSink;
+    }
+
+    // Node ids: 0 = S, 1 = T, then per free vertex v: in = 2 + 2v, out = 3 + 2v.
+    num_nodes_ = 2 + 2 * n;
+    head_.assign(static_cast<std::size_t>(num_nodes_), -1);
+
+    for (Vertex v = 0; v < n; ++v) {
+      if (role_[static_cast<std::size_t>(v)] != Role::kFree) continue;
+      add_edge(in_node(v), out_node(v), 1);
+    }
+    for (const graph::Edge e : g.edges()) {
+      const Role ru = role_[static_cast<std::size_t>(e.u)];
+      const Role rv = role_[static_cast<std::size_t>(e.v)];
+      if (ru != Role::kFree && rv != Role::kFree) continue;  // hub-hub edge irrelevant
+      if (ru == Role::kSource) {
+        add_edge(kSourceNode, in_node(e.v), 1);
+      } else if (ru == Role::kSink) {
+        add_edge(out_node(e.v), kSinkNode, 1);
+      } else if (rv == Role::kSource) {
+        add_edge(kSourceNode, in_node(e.u), 1);
+      } else if (rv == Role::kSink) {
+        add_edge(out_node(e.u), kSinkNode, 1);
+      } else {
+        add_edge(out_node(e.u), in_node(e.v), 1);
+        add_edge(out_node(e.v), in_node(e.u), 1);
+      }
+    }
+  }
+
+  int max_flow() {
+    int flow = 0;
+    while (augment()) ++flow;
+    return flow;
+  }
+
+ private:
+  enum class Role { kFree, kSource, kSink };
+  static constexpr int kSourceNode = 0;
+  static constexpr int kSinkNode = 1;
+
+  static int in_node(Vertex v) { return 2 + 2 * v; }
+  static int out_node(Vertex v) { return 3 + 2 * v; }
+
+  void add_edge(int from, int to, int cap) {
+    // Forward edge and residual back edge, stored pairwise.
+    to_.push_back(to);
+    cap_.push_back(cap);
+    next_.push_back(head_[static_cast<std::size_t>(from)]);
+    head_[static_cast<std::size_t>(from)] = static_cast<int>(to_.size()) - 1;
+    to_.push_back(from);
+    cap_.push_back(0);
+    next_.push_back(head_[static_cast<std::size_t>(to)]);
+    head_[static_cast<std::size_t>(to)] = static_cast<int>(to_.size()) - 1;
+  }
+
+  bool augment() {
+    std::vector<int> pred_edge(static_cast<std::size_t>(num_nodes_), -1);
+    std::vector<char> seen(static_cast<std::size_t>(num_nodes_), 0);
+    std::queue<int> queue;
+    queue.push(kSourceNode);
+    seen[kSourceNode] = 1;
+    while (!queue.empty() && !seen[kSinkNode]) {
+      const int u = queue.front();
+      queue.pop();
+      for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+           e = next_[static_cast<std::size_t>(e)]) {
+        const int w = to_[static_cast<std::size_t>(e)];
+        if (cap_[static_cast<std::size_t>(e)] <= 0 || seen[static_cast<std::size_t>(w)]) continue;
+        seen[static_cast<std::size_t>(w)] = 1;
+        pred_edge[static_cast<std::size_t>(w)] = e;
+        queue.push(w);
+      }
+    }
+    if (!seen[kSinkNode]) return false;
+    for (int v = kSinkNode; v != kSourceNode;) {
+      const int e = pred_edge[static_cast<std::size_t>(v)];
+      cap_[static_cast<std::size_t>(e)] -= 1;
+      cap_[static_cast<std::size_t>(e ^ 1)] += 1;
+      v = to_[static_cast<std::size_t>(e ^ 1)];
+    }
+    return true;
+  }
+
+  std::vector<Role> role_;
+  int num_nodes_ = 0;
+  std::vector<int> head_;
+  std::vector<int> to_;
+  std::vector<int> cap_;
+  std::vector<int> next_;
+};
+
+}  // namespace
+
+int max_disjoint_connectors(const Graph& g, std::span<const Vertex> a,
+                            std::span<const Vertex> b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("connectors: empty hub");
+  VertexFlow flow(g, a, b);
+  return flow.max_flow();
+}
+
+int max_disjoint_connectors(const Graph& g, Vertex a, Vertex b) {
+  const Vertex ha[] = {a};
+  const Vertex hb[] = {b};
+  return max_disjoint_connectors(g, ha, hb);
+}
+
+std::vector<std::vector<Vertex>> connected_subsets(const Graph& g, int max_size) {
+  if (max_size < 1) return {};
+  std::set<std::vector<Vertex>> seen;
+  // Grow subsets by adding neighbours; start from singletons. To avoid
+  // duplicates we canonicalise by sorting and use a set.
+  std::vector<std::vector<Vertex>> frontier;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    frontier.push_back({v});
+    seen.insert({v});
+  }
+  std::vector<std::vector<Vertex>> result(frontier.begin(), frontier.end());
+  for (int size = 1; size < max_size; ++size) {
+    std::vector<std::vector<Vertex>> next;
+    for (const auto& subset : frontier) {
+      for (Vertex v : subset) {
+        for (Vertex w : g.neighbors(v)) {
+          if (std::binary_search(subset.begin(), subset.end(), w)) continue;
+          std::vector<Vertex> bigger = subset;
+          bigger.insert(std::lower_bound(bigger.begin(), bigger.end(), w), w);
+          if (seen.insert(bigger).second) next.push_back(std::move(bigger));
+        }
+      }
+    }
+    result.insert(result.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace lmds::minor

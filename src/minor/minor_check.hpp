@@ -1,0 +1,35 @@
+#pragma once
+// Vertex-disjoint connector machinery used by the K_{2,t}-minor tests.
+//
+// Fact (used throughout): G has a K_{2,t} minor iff there are two disjoint
+// connected "hub" sets A, B and t vertex-disjoint connected sets C_1..C_t
+// (disjoint from A ∪ B) each adjacent to both A and B. For FIXED hubs the
+// maximum number of such C_i equals the maximum number of internally
+// vertex-disjoint A–B paths (Menger), which we compute with a unit
+// vertex-capacity max-flow (node splitting + BFS augmentation).
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::minor {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Maximum number of vertex-disjoint connected sets, disjoint from A ∪ B,
+/// each adjacent to both A and B. A and B must be disjoint and non-empty
+/// (they need not be connected for the flow computation itself).
+int max_disjoint_connectors(const Graph& g, std::span<const Vertex> a,
+                            std::span<const Vertex> b);
+
+/// Convenience overload for singleton hubs.
+int max_disjoint_connectors(const Graph& g, Vertex a, Vertex b);
+
+/// All connected vertex subsets of g with size in [1, max_size], as sorted
+/// vertex lists. Exponential in max_size; used by the exact small-hub
+/// K_{2,t} search.
+std::vector<std::vector<Vertex>> connected_subsets(const Graph& g, int max_size);
+
+}  // namespace lmds::minor

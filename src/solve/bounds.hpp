@@ -1,0 +1,33 @@
+#pragma once
+// Combinatorial lower bounds used when exact solving is out of reach:
+//  * 2-packing: vertices pairwise at distance >= 3 have disjoint closed
+//    neighbourhoods, so any dominating set needs one vertex per packed
+//    vertex (this is exactly the disjointness mechanism of Lemma 5.2);
+//  * maximal matching: lower bound on vertex cover;
+//  * degree bound: MDS(G) >= n / (Δ + 1) (footnote 4 of the paper, the
+//    argument behind the 0-round t-approximation on K_{1,t}-minor-free
+//    graphs).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::solve {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Greedy maximal 2-packing (distance >= 3 apart). Its size lower-bounds
+/// MDS(G).
+std::vector<Vertex> two_packing(const Graph& g);
+
+/// |two_packing(g)| — a lower bound on MDS(G).
+int mds_lower_bound(const Graph& g);
+
+/// Size of a greedy maximal matching — a lower bound on MVC(G).
+int mvc_lower_bound(const Graph& g);
+
+/// ceil(n / (Δ+1)) — the degree lower bound on MDS(G).
+int mds_degree_lower_bound(const Graph& g);
+
+}  // namespace lmds::solve

@@ -1,0 +1,186 @@
+#include "solve/exact_mvc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lmds::solve {
+
+namespace {
+
+// Vertex cover branch & bound over an explicit edge list. Works on the
+// "uncovered edges" abstraction so it serves both exact_mvc and
+// exact_edge_cover_vertices.
+class VertexCoverSolver {
+ public:
+  VertexCoverSolver(int n, std::vector<graph::Edge> edges) : n_(n), edges_(std::move(edges)) {
+    adj_.resize(static_cast<std::size_t>(n_));
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      adj_[static_cast<std::size_t>(edges_[i].u)].push_back(static_cast<int>(i));
+      adj_[static_cast<std::size_t>(edges_[i].v)].push_back(static_cast<int>(i));
+    }
+    edge_covered_.assign(edges_.size(), 0);
+    in_cover_.assign(static_cast<std::size_t>(n_), 0);
+    uncovered_ = static_cast<int>(edges_.size());
+  }
+
+  std::vector<Vertex> solve() {
+    best_ = greedy();
+    std::vector<Vertex> chosen;
+    branch(chosen);
+    std::sort(best_.begin(), best_.end());
+    return best_;
+  }
+
+ private:
+  // 2-approximate greedy (take both endpoints of a maximal matching) as the
+  // initial upper bound.
+  std::vector<Vertex> greedy() const {
+    std::vector<char> matched(static_cast<std::size_t>(n_), 0);
+    std::vector<Vertex> cover;
+    for (const graph::Edge& e : edges_) {
+      if (!matched[static_cast<std::size_t>(e.u)] && !matched[static_cast<std::size_t>(e.v)]) {
+        matched[static_cast<std::size_t>(e.u)] = 1;
+        matched[static_cast<std::size_t>(e.v)] = 1;
+        cover.push_back(e.u);
+        cover.push_back(e.v);
+      }
+    }
+    return cover;
+  }
+
+  int live_degree(Vertex v) const {
+    int deg = 0;
+    for (int ei : adj_[static_cast<std::size_t>(v)]) {
+      if (!edge_covered_[static_cast<std::size_t>(ei)]) ++deg;
+    }
+    return deg;
+  }
+
+  void take(Vertex v, std::vector<Vertex>& chosen, std::vector<int>& newly_covered) {
+    chosen.push_back(v);
+    in_cover_[static_cast<std::size_t>(v)] = 1;
+    for (int ei : adj_[static_cast<std::size_t>(v)]) {
+      if (!edge_covered_[static_cast<std::size_t>(ei)]) {
+        edge_covered_[static_cast<std::size_t>(ei)] = 1;
+        newly_covered.push_back(ei);
+        --uncovered_;
+      }
+    }
+  }
+
+  void untake(Vertex v, std::vector<Vertex>& chosen, const std::vector<int>& newly_covered) {
+    chosen.pop_back();
+    in_cover_[static_cast<std::size_t>(v)] = 0;
+    for (int ei : newly_covered) {
+      edge_covered_[static_cast<std::size_t>(ei)] = 0;
+      ++uncovered_;
+    }
+  }
+
+  // Maximal matching on uncovered edges: its size lower-bounds the cover.
+  int matching_lower_bound() const {
+    std::vector<char> used(static_cast<std::size_t>(n_), 0);
+    int matching = 0;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (edge_covered_[i]) continue;
+      const graph::Edge& e = edges_[i];
+      if (!used[static_cast<std::size_t>(e.u)] && !used[static_cast<std::size_t>(e.v)]) {
+        used[static_cast<std::size_t>(e.u)] = 1;
+        used[static_cast<std::size_t>(e.v)] = 1;
+        ++matching;
+      }
+    }
+    return matching;
+  }
+
+  void branch(std::vector<Vertex>& chosen) {
+    if (uncovered_ == 0) {
+      if (chosen.size() < best_.size()) best_ = chosen;
+      return;
+    }
+    if (chosen.size() + static_cast<std::size_t>(matching_lower_bound()) >= best_.size()) return;
+
+    // Degree-1 reduction: an uncovered pendant edge is optimally covered by
+    // the endpoint of larger live degree.
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (edge_covered_[i]) continue;
+      const graph::Edge& e = edges_[i];
+      const int du = live_degree(e.u);
+      const int dv = live_degree(e.v);
+      if (du == 1 || dv == 1) {
+        const Vertex pick = (du == 1) ? e.v : e.u;
+        std::vector<int> newly;
+        take(pick, chosen, newly);
+        branch(chosen);
+        untake(pick, chosen, newly);
+        return;
+      }
+    }
+
+    // Branch on a vertex of maximum live degree: either it is in the cover,
+    // or all its live neighbours are.
+    Vertex pivot = graph::kNoVertex;
+    int max_deg = 0;
+    for (Vertex v = 0; v < n_; ++v) {
+      const int d = live_degree(v);
+      if (d > max_deg) {
+        max_deg = d;
+        pivot = v;
+      }
+    }
+
+    {
+      std::vector<int> newly;
+      take(pivot, chosen, newly);
+      branch(chosen);
+      untake(pivot, chosen, newly);
+    }
+    {
+      // Exclude pivot: every live edge at pivot must be covered by the other
+      // endpoint.
+      std::vector<Vertex> others;
+      for (int ei : adj_[static_cast<std::size_t>(pivot)]) {
+        if (edge_covered_[static_cast<std::size_t>(ei)]) continue;
+        const graph::Edge& e = edges_[static_cast<std::size_t>(ei)];
+        others.push_back(e.u == pivot ? e.v : e.u);
+      }
+      std::sort(others.begin(), others.end());
+      others.erase(std::unique(others.begin(), others.end()), others.end());
+      std::vector<std::vector<int>> undo(others.size());
+      for (std::size_t i = 0; i < others.size(); ++i) take(others[i], chosen, undo[i]);
+      branch(chosen);
+      for (std::size_t i = others.size(); i-- > 0;) untake(others[i], chosen, undo[i]);
+    }
+  }
+
+  int n_;
+  std::vector<graph::Edge> edges_;
+  std::vector<std::vector<int>> adj_;  // vertex -> incident edge indices
+  std::vector<char> edge_covered_;
+  std::vector<char> in_cover_;
+  int uncovered_ = 0;
+  std::vector<Vertex> best_;
+};
+
+}  // namespace
+
+std::vector<Vertex> exact_mvc(const Graph& g) {
+  VertexCoverSolver solver(g.num_vertices(), g.edges());
+  return solver.solve();
+}
+
+int mvc_size(const Graph& g) { return static_cast<int>(exact_mvc(g).size()); }
+
+std::vector<Vertex> exact_edge_cover_vertices(const Graph& g,
+                                              std::span<const graph::Edge> edges) {
+  std::vector<graph::Edge> list(edges.begin(), edges.end());
+  for (const graph::Edge& e : list) {
+    if (!g.has_edge(e.u, e.v)) {
+      throw std::invalid_argument("exact_edge_cover_vertices: not an edge of g");
+    }
+  }
+  VertexCoverSolver solver(g.num_vertices(), std::move(list));
+  return solver.solve();
+}
+
+}  // namespace lmds::solve

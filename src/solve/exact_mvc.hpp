@@ -1,0 +1,27 @@
+#pragma once
+// Exact minimum vertex cover via branch & bound with classic reductions
+// (degree-0/1 elimination, matching lower bound, max-degree branching).
+// Used as ground truth for the MVC variants of Theorems 4.1 and 4.4.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::solve {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Exact minimum vertex cover of g.
+std::vector<Vertex> exact_mvc(const Graph& g);
+
+/// |exact_mvc(g)|.
+int mvc_size(const Graph& g);
+
+/// Exact minimum set of vertices covering the given edge subset of g
+/// (endpoints of uncovered edges are the only useful candidates). Used by
+/// the residual brute-force step of the Algorithm-1 MVC variant.
+std::vector<Vertex> exact_edge_cover_vertices(const Graph& g, std::span<const graph::Edge> edges);
+
+}  // namespace lmds::solve

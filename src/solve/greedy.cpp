@@ -1,0 +1,56 @@
+#include "solve/greedy.hpp"
+
+#include <algorithm>
+
+namespace lmds::solve {
+
+std::vector<Vertex> greedy_mds(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<char> dominated(static_cast<std::size_t>(n), 0);
+  int remaining = n;
+  std::vector<Vertex> result;
+  while (remaining > 0) {
+    Vertex best = graph::kNoVertex;
+    int best_gain = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      int gain = dominated[static_cast<std::size_t>(v)] ? 0 : 1;
+      for (Vertex w : g.neighbors(v)) {
+        if (!dominated[static_cast<std::size_t>(w)]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    result.push_back(best);
+    if (!dominated[static_cast<std::size_t>(best)]) {
+      dominated[static_cast<std::size_t>(best)] = 1;
+      --remaining;
+    }
+    for (Vertex w : g.neighbors(best)) {
+      if (!dominated[static_cast<std::size_t>(w)]) {
+        dominated[static_cast<std::size_t>(w)] = 1;
+        --remaining;
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<Vertex> greedy_mvc(const Graph& g) {
+  std::vector<char> matched(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<Vertex> cover;
+  for (const graph::Edge e : g.edges()) {
+    if (!matched[static_cast<std::size_t>(e.u)] && !matched[static_cast<std::size_t>(e.v)]) {
+      matched[static_cast<std::size_t>(e.u)] = 1;
+      matched[static_cast<std::size_t>(e.v)] = 1;
+      cover.push_back(e.u);
+      cover.push_back(e.v);
+    }
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+}  // namespace lmds::solve

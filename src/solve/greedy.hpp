@@ -1,0 +1,23 @@
+#pragma once
+// Sequential approximation baselines: the classical ln(n)-greedy for
+// dominating set and the maximal-matching 2-approximation for vertex cover.
+// These are centralized reference points the benches print next to the
+// paper's LOCAL algorithms.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::solve {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Greedy dominating set: repeatedly add the vertex covering the most
+/// still-undominated vertices. (1 + ln n)-approximate.
+std::vector<Vertex> greedy_mds(const Graph& g);
+
+/// Greedy vertex cover: both endpoints of a maximal matching. 2-approximate.
+std::vector<Vertex> greedy_mvc(const Graph& g);
+
+}  // namespace lmds::solve

@@ -1,0 +1,134 @@
+#include "solve/tree_dp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace lmds::solve {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+// States of the classic domination DP on rooted trees:
+//   0 — v in the dominating set,
+//   1 — v not in the set, dominated by one of its children,
+//   2 — v not in the set and not yet dominated (the parent must take it).
+enum : int { kTaken = 0, kDominatedByChild = 1, kNeedsParent = 2 };
+
+}  // namespace
+
+std::vector<Vertex> tree_mds(const Graph& g) {
+  const int n = g.num_vertices();
+  const auto comps = graph::connected_components(g);
+  if (g.num_edges() != n - comps.count) {
+    throw std::invalid_argument("tree_mds: graph has a cycle");
+  }
+  if (n == 0) return {};
+
+  std::vector<std::array<int, 3>> dp(static_cast<std::size_t>(n), {kInf, kInf, kInf});
+  std::vector<Vertex> parent(static_cast<std::size_t>(n), graph::kNoVertex);
+  std::vector<Vertex> order;  // BFS order per component; processed in reverse
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<Vertex> roots;
+
+  for (Vertex r = 0; r < n; ++r) {
+    if (visited[static_cast<std::size_t>(r)]) continue;
+    roots.push_back(r);
+    visited[static_cast<std::size_t>(r)] = 1;
+    std::size_t head = order.size();
+    order.push_back(r);
+    while (head < order.size()) {
+      const Vertex u = order[head++];
+      for (Vertex w : g.neighbors(u)) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          parent[static_cast<std::size_t>(w)] = u;
+          order.push_back(w);
+        }
+      }
+    }
+  }
+
+  // Bottom-up DP.
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const Vertex v = order[i];
+    int taken = 1;
+    int needs_parent = 0;
+    int dominated = 0;
+    int best_switch = kInf;  // cheapest price to force one child into the set
+    bool has_child = false;
+    for (Vertex c : g.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(c)] != v) continue;
+      has_child = true;
+      const auto& d = dp[static_cast<std::size_t>(c)];
+      taken += std::min({d[kTaken], d[kDominatedByChild], d[kNeedsParent]});
+      const int not_needing = std::min(d[kTaken], d[kDominatedByChild]);
+      needs_parent += not_needing;
+      dominated += not_needing;
+      best_switch = std::min(best_switch, d[kTaken] - not_needing);
+    }
+    dp[static_cast<std::size_t>(v)][kTaken] = taken;
+    // A childless vertex can still wait for its parent (cost 0); the root
+    // never selects kNeedsParent, so isolated vertices are safe.
+    dp[static_cast<std::size_t>(v)][kNeedsParent] = needs_parent;
+    dp[static_cast<std::size_t>(v)][kDominatedByChild] =
+        has_child ? dominated + best_switch : kInf;
+  }
+
+  // Top-down reconstruction.
+  std::vector<int> state(static_cast<std::size_t>(n), -1);
+  std::vector<Vertex> result;
+  for (Vertex r : roots) {
+    const auto& d = dp[static_cast<std::size_t>(r)];
+    state[static_cast<std::size_t>(r)] = d[kTaken] <= d[kDominatedByChild] ? kTaken
+                                                                           : kDominatedByChild;
+  }
+  for (const Vertex v : order) {
+    const int sv = state[static_cast<std::size_t>(v)];
+    if (sv == kTaken) result.push_back(v);
+
+    // Decide children's states.
+    Vertex forced = graph::kNoVertex;
+    if (sv == kDominatedByChild) {
+      // Re-find the cheapest child to force into the set.
+      int best = kInf;
+      for (Vertex c : g.neighbors(v)) {
+        if (parent[static_cast<std::size_t>(c)] != v) continue;
+        const auto& d = dp[static_cast<std::size_t>(c)];
+        const int price = d[kTaken] - std::min(d[kTaken], d[kDominatedByChild]);
+        if (price < best) {
+          best = price;
+          forced = c;
+        }
+      }
+    }
+    for (Vertex c : g.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(c)] != v) continue;
+      const auto& d = dp[static_cast<std::size_t>(c)];
+      int sc;
+      if (sv == kTaken) {
+        // Child may be anything, pick the cheapest.
+        sc = kTaken;
+        if (d[kDominatedByChild] < d[sc]) sc = kDominatedByChild;
+        if (d[kNeedsParent] < d[sc]) sc = kNeedsParent;
+      } else if (c == forced) {
+        sc = kTaken;
+      } else {
+        sc = d[kTaken] <= d[kDominatedByChild] ? kTaken : kDominatedByChild;
+      }
+      state[static_cast<std::size_t>(c)] = sc;
+    }
+  }
+
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+int tree_mds_size(const Graph& g) { return static_cast<int>(tree_mds(g).size()); }
+
+}  // namespace lmds::solve

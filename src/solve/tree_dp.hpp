@@ -1,0 +1,21 @@
+#pragma once
+// Linear-time exact minimum dominating set on forests via the classic
+// three-state dynamic program. Cross-checks the branch & bound solver in
+// tests and provides ground truth on large tree instances in benches.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::solve {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Exact MDS of a forest. Throws std::invalid_argument if g has a cycle.
+std::vector<Vertex> tree_mds(const Graph& g);
+
+/// |tree_mds(g)|.
+int tree_mds_size(const Graph& g);
+
+}  // namespace lmds::solve

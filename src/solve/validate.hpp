@@ -1,0 +1,52 @@
+#pragma once
+// Solution validation predicates shared by solvers, tests and benches.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lmds::solve {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// True iff every vertex of g is in s or adjacent to a vertex of s.
+inline bool is_dominating_set(const Graph& g, std::span<const Vertex> s) {
+  std::vector<char> dominated(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : s) {
+    dominated[static_cast<std::size_t>(v)] = 1;
+    for (Vertex w : g.neighbors(v)) dominated[static_cast<std::size_t>(w)] = 1;
+  }
+  for (char d : dominated) {
+    if (!d) return false;
+  }
+  return true;
+}
+
+/// True iff every vertex of b is in s or adjacent to a vertex of s
+/// (the "B-dominating" notion of Section 2).
+inline bool is_b_dominating_set(const Graph& g, std::span<const Vertex> s,
+                                std::span<const Vertex> b) {
+  std::vector<char> dominated(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : s) {
+    dominated[static_cast<std::size_t>(v)] = 1;
+    for (Vertex w : g.neighbors(v)) dominated[static_cast<std::size_t>(w)] = 1;
+  }
+  for (Vertex v : b) {
+    if (!dominated[static_cast<std::size_t>(v)]) return false;
+  }
+  return true;
+}
+
+/// True iff every edge of g has an endpoint in s.
+inline bool is_vertex_cover(const Graph& g, std::span<const Vertex> s) {
+  std::vector<char> in(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (Vertex v : s) in[static_cast<std::size_t>(v)] = 1;
+  for (const graph::Edge e : g.edges()) {
+    if (!in[static_cast<std::size_t>(e.u)] && !in[static_cast<std::size_t>(e.v)]) return false;
+  }
+  return true;
+}
+
+}  // namespace lmds::solve

@@ -1,0 +1,146 @@
+// Tests for the asymptotic-dimension module: BFS-band covers, r-component
+// weak-diameter validation, and the Lemma 5.2 / Proposition 3.1 charging
+// machinery.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asdim/charging.hpp"
+#include "asdim/control.hpp"
+#include "asdim/cover.hpp"
+#include "core/constants.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "solve/exact_mds.hpp"
+
+namespace lmds::asdim {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Cover, IsACover) {
+  std::mt19937_64 rng(241);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = graph::gen::random_tree(40, rng);
+    for (const int r : {1, 2, 3}) {
+      const Cover cover = bfs_band_cover(g, r);
+      EXPECT_TRUE(validate_cover(g, cover).is_cover);
+      EXPECT_EQ(cover.dimension(), 1);
+    }
+  }
+}
+
+TEST(Cover, PartsDisjoint) {
+  std::mt19937_64 rng(251);
+  const Graph g = graph::gen::random_connected(30, 10, rng);
+  const Cover cover = bfs_band_cover(g, 2);
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (const auto& part : cover.parts) {
+    for (Vertex v : part) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+}
+
+TEST(Cover, PathBandsAreBounded) {
+  // On a path, each band is an interval of length r; its weak diameter is
+  // at most 2r - 1 (a full band plus nothing else merges at distance r).
+  const Graph g = graph::gen::path(60);
+  for (const int r : {1, 2, 4}) {
+    const CoverCheck check = validate_cover(g, bfs_band_cover(g, r));
+    EXPECT_TRUE(check.is_cover);
+    EXPECT_LE(check.max_component_weak_diameter, 2 * r) << "r=" << r;
+  }
+}
+
+TEST(Cover, SpiderBranchesSeparate) {
+  // Far from the root, different legs are different r-components: their
+  // weak diameter stays bounded even though a part spans all legs.
+  const Graph g = graph::gen::spider(5, 40);
+  const CoverCheck check = validate_cover(g, bfs_band_cover(g, 3));
+  EXPECT_TRUE(check.is_cover);
+  EXPECT_GT(check.num_components, 5);
+  EXPECT_LE(check.max_component_weak_diameter, 4 * 3);
+}
+
+TEST(Cover, TreeControlLinearInR) {
+  // Measured control on random trees stays well under the paper's
+  // (5r+18)t bound (with t = 2, trees are K_{2,2}-minor-free).
+  std::mt19937_64 rng(257);
+  std::vector<Graph> family;
+  for (int i = 0; i < 5; ++i) family.push_back(graph::gen::random_tree(80, rng));
+  const auto curve = measure_control_curve(family, {1, 2, 3, 5}, 2);
+  for (const ControlPoint& point : curve) {
+    EXPECT_LE(point.measured, point.paper_bound)
+        << "r=" << point.r << " measured=" << point.measured;
+  }
+}
+
+TEST(Cover, ThetaChainControlBounded) {
+  std::mt19937_64 rng(263);
+  std::vector<Graph> family;
+  for (const int parallel : {2, 4}) family.push_back(graph::gen::theta_chain(10, parallel));
+  const auto curve = measure_control_curve(family, {2, 5}, 5);
+  for (const ControlPoint& point : curve) {
+    EXPECT_LE(point.measured, point.paper_bound);
+  }
+}
+
+TEST(Cover, RejectsBadScale) {
+  EXPECT_THROW(bfs_band_cover(graph::gen::path(4), 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Charging (Lemma 5.2 / Proposition 3.1)
+
+TEST(Charging, DisjointnessDetection) {
+  const Graph g = graph::gen::path(10);
+  const std::vector<std::vector<Vertex>> far_sets{{0}, {4}, {8}};
+  EXPECT_TRUE(closed_neighborhoods_disjoint(g, far_sets));
+  const std::vector<std::vector<Vertex>> close_sets{{0}, {2}};
+  EXPECT_FALSE(closed_neighborhoods_disjoint(g, close_sets));  // share N at 1
+}
+
+TEST(Charging, Lemma52SumBound) {
+  // Sets with pairwise disjoint closed neighbourhoods: sum of B-domination
+  // optima is at most the global optimum.
+  std::mt19937_64 rng(269);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::gen::random_connected(30, 10, rng);
+    // Build far-apart singleton sets greedily (a 2-packing).
+    std::vector<std::vector<Vertex>> sets;
+    std::vector<char> blocked(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (blocked[static_cast<std::size_t>(v)]) continue;
+      sets.push_back({v});
+      for (Vertex w : graph::ball(g, v, 2)) blocked[static_cast<std::size_t>(w)] = 1;
+    }
+    ASSERT_TRUE(closed_neighborhoods_disjoint(g, sets));
+    EXPECT_LE(sum_b_domination(g, sets), solve::mds_size(g));
+  }
+}
+
+TEST(Charging, CertificateBoundedByOptimum) {
+  // Proposition 3.1's inner sum: per part, Σ over (2k+3)-components B of
+  // MDS(G, N^k[B]) <= MDS(G).
+  std::mt19937_64 rng(271);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = graph::gen::random_tree(35, rng);
+    const int k = 1;
+    const Cover cover = bfs_band_cover(g, 2 * k + 3);
+    EXPECT_LE(charging_certificate(g, cover, k), solve::mds_size(g));
+  }
+}
+
+TEST(Charging, CertificateOnThetaChain) {
+  const Graph g = graph::gen::theta_chain(6, 3);
+  const int k = 1;
+  const Cover cover = bfs_band_cover(g, 2 * k + 3);
+  EXPECT_LE(charging_certificate(g, cover, k), solve::mds_size(g));
+}
+
+}  // namespace
+}  // namespace lmds::asdim

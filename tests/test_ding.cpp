@@ -1,0 +1,248 @@
+// Tests for Ding's structures (§5.4): fans, strips, type-I validity,
+// augmentations, and the certified K_{2,t}-minor-free cactus generator.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ding/generators.hpp"
+#include "ding/structures.hpp"
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "minor/k2t.hpp"
+
+namespace lmds::ding {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Fan, Shape) {
+  const Graph g = fan(4);
+  EXPECT_EQ(g.num_vertices(), 6);
+  // Path edges 1-2,2-3,3-4,4-5 plus centre edges to 1..5.
+  EXPECT_EQ(g.num_edges(), 4 + 5);
+  EXPECT_EQ(g.degree(0), 5);
+}
+
+TEST(Fan, IsK23MinorFree) {
+  for (int len = 1; len <= 8; ++len) {
+    EXPECT_TRUE(minor::is_k2t_minor_free(fan(len), 3)) << "len=" << len;
+    EXPECT_EQ(minor::max_k2t(fan(len)), len >= 2 ? 2 : 1) << "len=" << len;
+  }
+}
+
+TEST(Fan, CornersAreOnGraph) {
+  const auto corners = fan_corners(5);
+  const Graph g = fan(5);
+  for (Vertex c : corners) EXPECT_TRUE(g.has_vertex(c));
+  EXPECT_EQ(corners[0], 0);
+  EXPECT_EQ(corners[2], 6);
+}
+
+TEST(Strip, LadderShape) {
+  const Graph g = strip(5);
+  EXPECT_EQ(g.num_vertices(), 10);
+  // 2*(k-1) path edges + 2 end edges + (k-2) interior rungs.
+  EXPECT_EQ(g.num_edges(), 8 + 2 + 3);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Strip, IsK25MinorFree) {
+  for (int len = 2; len <= 7; ++len) {
+    EXPECT_TRUE(minor::is_k2t_minor_free(strip(len), 5)) << "len=" << len;
+    EXPECT_TRUE(minor::is_k2t_minor_free(strip(len, true), 5)) << "crossed len=" << len;
+  }
+}
+
+TEST(Strip, MinimumDegreeTwo) {
+  for (const bool crossed : {false, true}) {
+    const Graph g = strip(6, crossed);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_GE(g.degree(v), 2);
+  }
+}
+
+TEST(Strip, RadiusGrowsWithLength) {
+  const auto corners10 = strip_corners(10);
+  const auto corners4 = strip_corners(4);
+  EXPECT_GT(structure_radius(strip(10), corners10), structure_radius(strip(4), corners4));
+}
+
+TEST(Strip, CornersDistinct) {
+  const auto corners = strip_corners(5);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) EXPECT_NE(corners[i], corners[j]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Type-I validity
+
+TEST(TypeOne, PlainCycleIsTypeOne) {
+  const Graph g = graph::gen::cycle(8);
+  std::vector<Vertex> cycle{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_TRUE(is_type_one(g, cycle));
+}
+
+TEST(TypeOne, OuterplanarIsTypeOne) {
+  // Non-crossing chords always qualify.
+  std::mt19937_64 rng(107);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = graph::gen::random_maximal_outerplanar(10, rng);
+    std::vector<Vertex> cycle;
+    for (Vertex v = 0; v < 10; ++v) cycle.push_back(v);
+    EXPECT_TRUE(is_type_one(g, cycle));
+  }
+}
+
+TEST(TypeOne, AllowedCrossingPattern) {
+  // C6 with chords {0,4} and {1,5}: they cross, and endpoints 0,1 / 4,5 are
+  // cycle-adjacent — the allowed X pattern.
+  graph::GraphBuilder b(6);
+  b.add_cycle({0, 1, 2, 3, 4, 5});
+  b.add_edge(0, 4);
+  b.add_edge(1, 5);
+  std::vector<Vertex> cycle{0, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(is_type_one(b.build(), cycle));
+}
+
+TEST(TypeOne, ForbiddenCrossingPattern) {
+  // C8 with chords {0,4} and {2,6}: crossing, endpoints not cycle-adjacent.
+  graph::GraphBuilder b(8);
+  b.add_cycle({0, 1, 2, 3, 4, 5, 6, 7});
+  b.add_edge(0, 4);
+  b.add_edge(2, 6);
+  std::vector<Vertex> cycle{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_FALSE(is_type_one(b.build(), cycle));
+}
+
+TEST(TypeOne, TripleCrossingRejected) {
+  // One chord crossing two others violates "crosses at most one".
+  graph::GraphBuilder b(8);
+  b.add_cycle({0, 1, 2, 3, 4, 5, 6, 7});
+  b.add_edge(0, 4);  // crossed by both below
+  b.add_edge(1, 5);
+  b.add_edge(3, 7);
+  std::vector<Vertex> cycle{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_FALSE(is_type_one(b.build(), cycle));
+}
+
+TEST(TypeOne, NotHamiltonianRejected) {
+  const Graph g = graph::gen::path(4);
+  std::vector<Vertex> cycle{0, 1, 2, 3};
+  EXPECT_FALSE(is_type_one(g, cycle));
+}
+
+TEST(TypeOne, StripIsTypeOne) {
+  // The strip's reference cycle: top path then reversed bottom path.
+  const int k = 5;
+  const Graph g = strip(k);
+  std::vector<Vertex> cycle;
+  for (int i = 0; i < k; ++i) cycle.push_back(static_cast<Vertex>(i));
+  for (int i = k - 1; i >= 0; --i) cycle.push_back(static_cast<Vertex>(k + i));
+  EXPECT_TRUE(is_type_one(g, cycle));
+}
+
+TEST(TypeOne, CrossedStripIsTypeOne) {
+  const int k = 6;
+  const Graph g = strip(k, true);
+  std::vector<Vertex> cycle;
+  for (int i = 0; i < k; ++i) cycle.push_back(static_cast<Vertex>(i));
+  for (int i = k - 1; i >= 0; --i) cycle.push_back(static_cast<Vertex>(k + i));
+  EXPECT_TRUE(is_type_one(g, cycle));
+}
+
+// ---------------------------------------------------------------------------
+// Augmentations
+
+TEST(Augmentation, AttachFanGrowsGraph) {
+  const Graph base = graph::gen::cycle(5);
+  AugmentationBuilder builder(base);
+  const auto interior = builder.attach_fan(0, 1, 2, 4);
+  EXPECT_EQ(interior.size(), 3u);  // length-1 fresh interior vertices
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_TRUE(graph::is_connected(g));
+  // Centre adjacent to all fan path vertices.
+  for (Vertex p : interior) EXPECT_TRUE(g.has_edge(0, p));
+}
+
+TEST(Augmentation, AttachStripGrowsGraph) {
+  const Graph base = graph::gen::cycle(6);
+  AugmentationBuilder builder(base);
+  const auto interior = builder.attach_strip({0, 2, 3, 5}, 4);
+  EXPECT_EQ(interior.size(), 4u);  // 2*4 - 4 corners
+  const Graph g = builder.build();
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Augmentation, CornerSharingRuleEnforced) {
+  const Graph base = graph::gen::cycle(6);
+  AugmentationBuilder builder(base);
+  builder.attach_strip({0, 1, 2, 3}, 3);
+  // Reusing a strip corner for another strip corner is forbidden...
+  EXPECT_THROW(builder.attach_strip({0, 4, 5, 1}, 3), std::invalid_argument);
+  // ...but a fan centre may share with a strip corner.
+  EXPECT_NO_THROW(builder.attach_fan(0, 4, 5, 2));
+}
+
+TEST(Augmentation, DistinctCornersRequired) {
+  AugmentationBuilder builder(graph::gen::cycle(5));
+  EXPECT_THROW(builder.attach_fan(0, 0, 1, 3), std::invalid_argument);
+  EXPECT_THROW(builder.attach_strip({0, 1, 1, 2}, 3), std::invalid_argument);
+}
+
+TEST(Augmentation, RandomAugmentationConnected) {
+  std::mt19937_64 rng(109);
+  AugmentationConfig cfg;
+  const Augmentation aug = random_augmentation(cfg, rng);
+  EXPECT_TRUE(graph::is_connected(aug.graph));
+  EXPECT_EQ(aug.structure_corners.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Certified cactus generator
+
+TEST(Cactus, CertifiedMinorFree) {
+  std::mt19937_64 rng(113);
+  for (const int t : {3, 5, 7}) {
+    CactusConfig cfg;
+    cfg.pieces = 6;
+    cfg.max_piece_size = 8;
+    cfg.t = t;
+    for (int trial = 0; trial < 3; ++trial) {
+      const Graph g = random_cactus_of_structures(cfg, rng);
+      EXPECT_TRUE(graph::is_connected(g));
+      // Cross-check certification with the exact small-hub tester.
+      EXPECT_TRUE(minor::is_k2t_minor_free(g, t, 2)) << "t=" << t << " " << g.summary();
+    }
+  }
+}
+
+TEST(Cactus, ThetaPiecesReachTheBound) {
+  // With theta links enabled the generator should produce K_{2,t-1} minors
+  // (the certificate is tight).
+  std::mt19937_64 rng(127);
+  CactusConfig cfg;
+  cfg.pieces = 8;
+  cfg.t = 6;
+  cfg.use_fans = false;
+  cfg.use_strips = false;
+  cfg.use_cycles = false;
+  const Graph g = random_cactus_of_structures(cfg, rng);
+  EXPECT_EQ(minor::max_k2t(g, 1), cfg.t - 1);
+}
+
+TEST(Cactus, RejectsBadConfig) {
+  std::mt19937_64 rng(131);
+  CactusConfig cfg;
+  cfg.t = 2;
+  EXPECT_THROW(random_cactus_of_structures(cfg, rng), std::invalid_argument);
+  CactusConfig cfg2;
+  cfg2.use_fans = cfg2.use_strips = cfg2.use_theta_links = cfg2.use_cycles = false;
+  EXPECT_THROW(random_cactus_of_structures(cfg2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmds::ding

@@ -1,0 +1,322 @@
+// Tests for the exact and approximate sequential solvers (set cover engine,
+// exact MDS / B-domination / MVC, tree DP, greedy baselines, lower bounds).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "solve/bounds.hpp"
+#include "solve/exact_mds.hpp"
+#include "solve/exact_mvc.hpp"
+#include "solve/greedy.hpp"
+#include "solve/tree_dp.hpp"
+#include "solve/validate.hpp"
+
+namespace lmds::solve {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::Vertex;
+
+// ---------------------------------------------------------------------------
+// Set cover engine
+
+TEST(SetCover, EmptyUniverse) {
+  EXPECT_TRUE(minimum_set_cover({}, 0).empty());
+}
+
+TEST(SetCover, SingleSet) {
+  const std::vector<std::vector<int>> sets{{0, 1, 2}};
+  EXPECT_EQ(minimum_set_cover(sets, 3), (std::vector<int>{0}));
+}
+
+TEST(SetCover, PrefersFewerSets) {
+  const std::vector<std::vector<int>> sets{{0}, {1}, {2}, {0, 1, 2}};
+  EXPECT_EQ(minimum_set_cover(sets, 3), (std::vector<int>{3}));
+}
+
+TEST(SetCover, NeedsTwo) {
+  const std::vector<std::vector<int>> sets{{0, 1}, {2, 3}, {1, 2}};
+  const auto cover = minimum_set_cover(sets, 4);
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST(SetCover, InfeasibleThrows) {
+  const std::vector<std::vector<int>> sets{{0}};
+  EXPECT_THROW(minimum_set_cover(sets, 2), std::runtime_error);
+}
+
+TEST(SetCover, GreedyIsNotOptimalButBnbIs) {
+  // Classic greedy trap: two rows covered by either the big row-sets or
+  // chunked column sets. Verify B&B returns the true optimum of 2.
+  // Universe {0..5}; optimal: {0,1,2,3,4,5} split as {0,2,4},{1,3,5}.
+  const std::vector<std::vector<int>> sets{{0, 1}, {2, 3}, {4, 5}, {0, 2, 4}, {1, 3, 5}};
+  EXPECT_EQ(minimum_set_cover(sets, 6).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Exact MDS
+
+TEST(ExactMds, PathOptima) {
+  // MDS(P_n) = ceil(n/3).
+  for (int n = 1; n <= 12; ++n) {
+    EXPECT_EQ(mds_size(graph::gen::path(n)), (n + 2) / 3) << "n=" << n;
+  }
+}
+
+TEST(ExactMds, CycleOptima) {
+  for (int n = 3; n <= 12; ++n) {
+    EXPECT_EQ(mds_size(graph::gen::cycle(n)), (n + 2) / 3) << "n=" << n;
+  }
+}
+
+TEST(ExactMds, StarIsOne) { EXPECT_EQ(mds_size(graph::gen::star(20)), 1); }
+
+TEST(ExactMds, CompleteIsOne) { EXPECT_EQ(mds_size(graph::gen::complete(8)), 1); }
+
+TEST(ExactMds, CliqueWithPendantsIsOne) {
+  // The Section 4 example is dominated by vertex 0 alone.
+  const Graph g = graph::gen::clique_with_pendants(8);
+  const auto mds = exact_mds(g);
+  EXPECT_EQ(mds.size(), 1u);
+  EXPECT_EQ(mds[0], 0);
+}
+
+TEST(ExactMds, SolutionIsDominating) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gen::random_connected(30, 15, rng);
+    const auto mds = exact_mds(g);
+    EXPECT_TRUE(is_dominating_set(g, mds));
+  }
+}
+
+TEST(ExactMds, MatchesTreeDpOnRandomTrees) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = graph::gen::random_tree(40, rng);
+    EXPECT_EQ(mds_size(g), tree_mds_size(g));
+  }
+}
+
+TEST(ExactMds, GridKnownValue) {
+  // MDS of the 4x4 grid is 4.
+  EXPECT_EQ(mds_size(graph::gen::grid(4, 4)), 4);
+}
+
+TEST(ExactMds, ThetaChainFeasible) {
+  const Graph g = graph::gen::theta_chain(6, 4);
+  const auto mds = exact_mds(g);
+  EXPECT_TRUE(is_dominating_set(g, mds));
+  // Hubs at every other position plus endpoints dominate: check optimum is
+  // at most the number of hubs.
+  EXPECT_LE(mds.size(), 7u);
+  EXPECT_GE(mds.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// B-domination
+
+TEST(BDomination, DominatesOnlyB) {
+  const Graph g = graph::gen::path(9);
+  const std::vector<Vertex> b{0, 1};
+  const auto s = exact_b_domination(g, b);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(is_b_dominating_set(g, s, b));
+}
+
+TEST(BDomination, UsesVerticesOutsideB) {
+  // B = two leaves of a star: the centre (not in B) dominates both.
+  const Graph g = graph::gen::star(6);
+  const std::vector<Vertex> b{1, 2, 3};
+  const auto s = exact_b_domination(g, b);
+  EXPECT_EQ(s, (std::vector<Vertex>{0}));
+}
+
+TEST(BDomination, EmptyB) {
+  const Graph g = graph::gen::path(4);
+  EXPECT_TRUE(exact_b_domination(g, {}).empty());
+}
+
+TEST(SetDomination, RestrictedCandidates) {
+  // Path 0-1-2; dominate {0,2} but only candidates {0,2} allowed: need both.
+  const Graph g = graph::gen::path(3);
+  const std::vector<Vertex> targets{0, 2};
+  const std::vector<Vertex> candidates{0, 2};
+  EXPECT_EQ(exact_set_domination(g, targets, candidates).size(), 2u);
+}
+
+TEST(SetDomination, InfeasibleThrows) {
+  const Graph g = graph::gen::path(4);  // 0-1-2-3
+  const std::vector<Vertex> targets{3};
+  const std::vector<Vertex> candidates{0};
+  EXPECT_THROW(exact_set_domination(g, targets, candidates), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Tree DP
+
+TEST(TreeDp, PathOptima) {
+  for (int n = 1; n <= 15; ++n) {
+    EXPECT_EQ(tree_mds_size(graph::gen::path(n)), (n + 2) / 3) << "n=" << n;
+  }
+}
+
+TEST(TreeDp, StarIsOne) { EXPECT_EQ(tree_mds_size(graph::gen::star(30)), 1); }
+
+TEST(TreeDp, SpiderValue) {
+  // Spider with 4 legs of length 3: centre + one per leg... verify against
+  // the exact solver instead of a hand value.
+  const Graph g = graph::gen::spider(4, 3);
+  EXPECT_EQ(tree_mds_size(g), mds_size(g));
+}
+
+TEST(TreeDp, SolutionDominates) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::gen::random_tree(60, rng);
+    const auto s = tree_mds(g);
+    EXPECT_TRUE(is_dominating_set(g, s));
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(mds_size(g)));
+  }
+}
+
+TEST(TreeDp, ForestHandled) {
+  const Graph g = graph::disjoint_union(graph::gen::path(4), graph::gen::star(5));
+  EXPECT_EQ(tree_mds_size(g), 2 + 1);
+}
+
+TEST(TreeDp, IsolatedVertices) {
+  const Graph g = graph::Graph(std::vector<std::vector<Vertex>>(3));
+  EXPECT_EQ(tree_mds_size(g), 3);
+}
+
+TEST(TreeDp, RejectsCycles) {
+  EXPECT_THROW(tree_mds(graph::gen::cycle(5)), std::invalid_argument);
+}
+
+TEST(TreeDp, CaterpillarMatchesExact) {
+  const Graph g = graph::gen::caterpillar(6, 2);
+  EXPECT_EQ(tree_mds_size(g), mds_size(g));
+}
+
+// ---------------------------------------------------------------------------
+// Exact MVC
+
+TEST(ExactMvc, PathOptima) {
+  // MVC(P_n) = floor(n/2).
+  for (int n = 2; n <= 12; ++n) {
+    EXPECT_EQ(mvc_size(graph::gen::path(n)), n / 2) << "n=" << n;
+  }
+}
+
+TEST(ExactMvc, CycleOptima) {
+  // MVC(C_n) = ceil(n/2).
+  for (int n = 3; n <= 12; ++n) {
+    EXPECT_EQ(mvc_size(graph::gen::cycle(n)), (n + 1) / 2) << "n=" << n;
+  }
+}
+
+TEST(ExactMvc, CompleteOptima) { EXPECT_EQ(mvc_size(graph::gen::complete(7)), 6); }
+
+TEST(ExactMvc, BipartiteKonig) {
+  // MVC(K_{s,t}) = min(s, t).
+  EXPECT_EQ(mvc_size(graph::gen::complete_bipartite(3, 8)), 3);
+  EXPECT_EQ(mvc_size(graph::gen::complete_bipartite(2, 9)), 2);
+}
+
+TEST(ExactMvc, StarIsOne) { EXPECT_EQ(mvc_size(graph::gen::star(15)), 1); }
+
+TEST(ExactMvc, SolutionCovers) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gen::random_connected(25, 20, rng);
+    const auto cover = exact_mvc(g);
+    EXPECT_TRUE(is_vertex_cover(g, cover));
+  }
+}
+
+TEST(ExactMvc, EdgeSubsetCover) {
+  // Cover only the two end edges of P5: the two inner endpoints suffice.
+  const Graph g = graph::gen::path(5);
+  const std::vector<graph::Edge> edges{{0, 1}, {3, 4}};
+  const auto cover = exact_edge_cover_vertices(g, edges);
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST(ExactMvc, EdgeSubsetRejectsNonEdge) {
+  const Graph g = graph::gen::path(3);
+  const std::vector<graph::Edge> edges{{0, 2}};
+  EXPECT_THROW(exact_edge_cover_vertices(g, edges), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy and bounds
+
+TEST(Greedy, MdsIsDominating) {
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gen::random_connected(50, 30, rng);
+    EXPECT_TRUE(is_dominating_set(g, greedy_mds(g)));
+  }
+}
+
+TEST(Greedy, MvcIsCover) {
+  std::mt19937_64 rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gen::random_connected(50, 30, rng);
+    EXPECT_TRUE(is_vertex_cover(g, greedy_mvc(g)));
+  }
+}
+
+TEST(Greedy, MvcWithinTwiceOptimal) {
+  std::mt19937_64 rng(47);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::gen::random_connected(20, 15, rng);
+    EXPECT_LE(greedy_mvc(g).size(), 2u * static_cast<std::size_t>(mvc_size(g)));
+  }
+}
+
+TEST(Bounds, TwoPackingIsValidLowerBound) {
+  std::mt19937_64 rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gen::random_connected(24, 10, rng);
+    EXPECT_LE(mds_lower_bound(g), mds_size(g));
+  }
+}
+
+TEST(Bounds, TwoPackingPairwiseFar) {
+  std::mt19937_64 rng(59);
+  const Graph g = graph::gen::random_connected(40, 10, rng);
+  const auto packed = two_packing(g);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    for (std::size_t j = i + 1; j < packed.size(); ++j) {
+      EXPECT_GE(graph::distance(g, packed[i], packed[j]), 3);
+    }
+  }
+}
+
+TEST(Bounds, MatchingLowerBoundsMvc) {
+  std::mt19937_64 rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gen::random_connected(22, 14, rng);
+    EXPECT_LE(mvc_lower_bound(g), mvc_size(g));
+  }
+}
+
+TEST(Bounds, DegreeLowerBound) {
+  // Footnote 4: MDS >= n/(Δ+1); tight on stars.
+  EXPECT_EQ(mds_degree_lower_bound(graph::gen::star(10)), 1);
+  EXPECT_EQ(mds_degree_lower_bound(graph::gen::path(9)), 3);
+  std::mt19937_64 rng(67);
+  const Graph g = graph::gen::random_connected(30, 12, rng);
+  EXPECT_LE(mds_degree_lower_bound(g), mds_size(g));
+}
+
+}  // namespace
+}  // namespace lmds::solve
