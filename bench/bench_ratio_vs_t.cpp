@@ -2,18 +2,19 @@
 // adversarial K_{2,t}-minor-free inputs (theta chains). Theorem 4.4's rule
 // keeps every vertex and pays Θ(t); Algorithm 1's ratio stays flat. This is
 // the "ratio independent of the size of H" claim of the abstract, rendered
-// as a data series.
+// as a data series. Both algorithms run through the uniform api::Registry
+// surface; the ratio comes from Response::ratio (measure_ratio flag).
 
 #include <cstdio>
 #include <string>
 
-#include "core/algorithm1.hpp"
-#include "core/metrics.hpp"
-#include "core/theorem44.hpp"
+#include "api/registry.hpp"
 #include "graph/generators.hpp"
 
 int main() {
   using namespace lmds;
+  const auto& registry = api::Registry::instance();
+
   std::printf("Ratio vs t on theta chains (links = 8, parallel = t-1)\n\n");
   std::printf("%4s %6s %8s | %14s | %14s | %10s\n", "t", "n", "MDS", "Thm4.4 ratio",
               "Alg.1 ratio", "2t-1 bound");
@@ -22,18 +23,17 @@ int main() {
   for (int t = 3; t <= 11; ++t) {
     const graph::Graph g = graph::gen::theta_chain(8, t - 1);
 
-    const auto quick = core::theorem44_mds(g);
-    const auto quick_ratio = core::measure_mds_ratio(g, quick.solution);
+    api::Request req;
+    req.graph = &g;
+    req.measure_ratio = true;
+    const api::Response quick = registry.run("theorem44", req);
 
-    core::Algorithm1Config cfg;
-    cfg.t = t;
-    cfg.radius1 = 4;
-    cfg.radius2 = 4;
-    const auto full = core::algorithm1(g, cfg);
-    const auto full_ratio = core::measure_mds_ratio(g, full.dominating_set);
+    api::Request alg1 = req;
+    alg1.options = {{"t", t}, {"radius1", 4}, {"radius2", 4}};
+    const api::Response full = registry.run("algorithm1", alg1);
 
     std::printf("%4d %6d %8d | %14.2f | %14.2f | %10d\n", t, g.num_vertices(),
-                quick_ratio.reference, quick_ratio.ratio, full_ratio.ratio, 2 * t - 1);
+                quick.ratio.reference, quick.ratio.ratio, full.ratio.ratio, 2 * t - 1);
   }
 
   std::printf("%s\n", std::string(70, '-').c_str());

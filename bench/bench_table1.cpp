@@ -1,7 +1,8 @@
 // E1 — regenerates Table 1 of the paper: constant-round distributed MDS
-// approximation across H-minor-free classes. For every row we run the row's
-// algorithm on generated instances of the row's class and report the paper's
-// guarantee next to the worst measured ratio and the measured LOCAL rounds.
+// approximation across H-minor-free classes. Every row is now *data* — a
+// registry solver name, its options and the row's instance list — executed
+// through the uniform api::Registry::run_batch() surface, so adding an
+// algorithm to the registry is all it takes to make it benchable here.
 //
 // Substitutions (DESIGN.md): the K_{s,t} / K_t rows of the paper cite
 // Heydt et al. [12] and Kublenz-Siebertz-Vigny [18]; we run our KSV-style
@@ -13,151 +14,133 @@
 #include <string>
 #include <vector>
 
-#include "core/algorithm1.hpp"
-#include "core/baselines.hpp"
-#include "core/metrics.hpp"
-#include "core/theorem44.hpp"
+#include "api/registry.hpp"
 #include "ding/generators.hpp"
 #include "graph/generators.hpp"
-#include "solve/validate.hpp"
 
 namespace {
 
 using namespace lmds;
 using graph::Graph;
-using graph::Vertex;
 
-struct RowResult {
-  double worst_ratio = 0;
-  int rounds = 0;
-  bool all_valid = true;
-  bool exact = true;
+struct Row {
+  const char* klass;
+  const char* label;
+  const char* solver;  // registry key
+  api::Options options;
+  const char* paper_ratio;
+  const char* paper_rounds;
+  std::vector<Graph> graphs;
 };
-
-void accumulate(RowResult& row, const Graph& g, const std::vector<Vertex>& solution,
-                int rounds) {
-  const auto report = core::measure_mds_ratio(g, solution);
-  row.worst_ratio = std::max(row.worst_ratio, report.ratio);
-  row.rounds = std::max(row.rounds, rounds);
-  row.all_valid = row.all_valid && solve::is_dominating_set(g, solution);
-  row.exact = row.exact && report.exact;
-}
-
-void print_row(const char* klass, const char* algorithm, const char* paper_ratio,
-               const char* paper_rounds, const RowResult& row) {
-  std::printf("%-22s %-24s %-12s %-8s %8.2f%s %7d    %s\n", klass, algorithm, paper_ratio,
-              paper_rounds, row.worst_ratio, row.exact ? " " : "*", row.rounds,
-              row.all_valid ? "ok" : "INVALID");
-}
 
 }  // namespace
 
 int main() {
   std::mt19937_64 rng(20250610);
+  const auto& registry = api::Registry::instance();
+
+  std::vector<Row> rows;
+
+  // --- trees (K3): folklore degree rule ---------------------------------
+  {
+    Row row{"trees (K_3)", "degree >= 2 rule", "tree-rule", {}, "3", "2", {}};
+    for (int trial = 0; trial < 5; ++trial) {
+      row.graphs.push_back(graph::gen::random_tree(400, rng));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- outerplanar (K4, K_{2,3}): Theorem 4.4 with t = 3 -----------------
+  {
+    Row row{"outerplanar (K_{2,3})", "Thm 4.4 (2t-1, t=3)", "theorem44", {}, "5", "2", {}};
+    for (int trial = 0; trial < 5; ++trial) {
+      row.graphs.push_back(graph::gen::random_outerplanar(60, 0.5, rng));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- planar (K5, K_{3,3}): KSV-style baseline --------------------------
+  {
+    Row row{"planar (K_5)", "KSV-style (for [12])", "ksv", {{"k", 3}}, "11+eps", "O(1)", {}};
+    for (int trial = 0; trial < 3; ++trial) {
+      row.graphs.push_back(graph::gen::apollonian(90, rng));
+    }
+    for (int trial = 0; trial < 2; ++trial) {
+      row.graphs.push_back(graph::gen::grid(9, 12));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- K_{1,t}: take everything ------------------------------------------
+  {
+    const int t = 6;
+    Row row{"K_{1,6}", "take all", "take-all", {}, "t = 6", "0", {}};
+    for (int trial = 0; trial < 5; ++trial) {
+      row.graphs.push_back(graph::gen::random_max_degree(60, t - 1, 30, rng));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- K_{2,t}: Theorem 4.4 and Algorithm 1 on the same instances --------
+  {
+    const int t = 6;
+    std::vector<Graph> instances;
+    for (int links : {6, 10}) {
+      instances.push_back(graph::gen::theta_chain(links, t - 1));
+    }
+    ding::CactusConfig cfg;
+    cfg.pieces = 10;
+    cfg.t = t;
+    for (int trial = 0; trial < 3; ++trial) {
+      instances.push_back(ding::random_cactus_of_structures(cfg, rng));
+    }
+    rows.push_back(
+        {"K_{2,6}", "Thm 4.4 (2t-1)", "theorem44", {}, "11", "3", instances});
+    rows.push_back({"K_{2,6}",
+                    "Algorithm 1 (Thm 4.1)",
+                    "algorithm1",
+                    {{"t", t}, {"radius1", 4}, {"radius2", 4}},
+                    "50 (51)",
+                    "O_t(1)",
+                    std::move(instances)});
+  }
+
+  // --- K_t (via planar = K_5-minor-free): KSV-style ----------------------
+  {
+    Row row{"K_5 (for K_t row)", "KSV-style (for [18])", "ksv", {{"k", 4}}, "t^O(..)",
+            "O(1)",  {}};
+    for (int trial = 0; trial < 3; ++trial) {
+      row.graphs.push_back(graph::gen::apollonian(80, rng));
+    }
+    rows.push_back(std::move(row));
+  }
+
   std::printf("Table 1 reproduction — constant-round MDS approximation on minor-free classes\n");
   std::printf("(measured ratio = worst over instances vs exact MDS; * marks lower-bound refs)\n\n");
   std::printf("%-22s %-24s %-12s %-8s %9s %7s\n", "class (excluded minor)", "algorithm",
               "paper ratio", "rounds", "measured", "rounds");
   std::printf("%s\n", std::string(96, '-').c_str());
 
-  // --- trees (K3): folklore degree rule ---------------------------------
-  {
-    RowResult row;
-    for (int trial = 0; trial < 5; ++trial) {
-      const Graph g = graph::gen::random_tree(400, rng);
-      accumulate(row, g, core::tree_degree_rule(g), 2);
-    }
-    print_row("trees (K_3)", "degree >= 2 rule", "3", "2", row);
-  }
+  for (const Row& row : rows) {
+    api::Request req;
+    req.options = row.options;
+    req.measure_ratio = true;
+    const auto responses =
+        registry.run_batch(row.solver, {row.graphs.data(), row.graphs.size()}, req);
 
-  // --- outerplanar (K4, K_{2,3}): Theorem 4.4 with t = 3 -----------------
-  {
-    RowResult row;
-    for (int trial = 0; trial < 5; ++trial) {
-      const Graph g = graph::gen::random_outerplanar(60, 0.5, rng);
-      const auto result = core::theorem44_mds(g);
-      accumulate(row, g, result.solution, result.traffic.rounds);
+    double worst_ratio = 0;
+    int rounds = 0;
+    bool all_valid = true;
+    bool exact = true;
+    for (const api::Response& res : responses) {
+      worst_ratio = std::max(worst_ratio, res.ratio.ratio);
+      rounds = std::max(rounds, res.diag.rounds);
+      all_valid = all_valid && res.valid;
+      exact = exact && res.ratio.exact;
     }
-    print_row("outerplanar (K_{2,3})", "Thm 4.4 (2t-1, t=3)", "5", "2", row);
-  }
-
-  // --- planar (K5, K_{3,3}): KSV-style baseline --------------------------
-  {
-    RowResult row;
-    for (int trial = 0; trial < 3; ++trial) {
-      const Graph g = graph::gen::apollonian(90, rng);
-      accumulate(row, g, core::ksv_style(g, 3), 4);
-    }
-    for (int trial = 0; trial < 2; ++trial) {
-      const Graph g = graph::gen::grid(9, 12);
-      accumulate(row, g, core::ksv_style(g, 3), 4);
-    }
-    print_row("planar (K_5)", "KSV-style (for [12])", "11+eps", "O(1)", row);
-  }
-
-  // --- K_{1,t}: take everything ------------------------------------------
-  {
-    const int t = 6;
-    RowResult row;
-    for (int trial = 0; trial < 5; ++trial) {
-      const Graph g = graph::gen::random_max_degree(60, t - 1, 30, rng);
-      accumulate(row, g, core::take_all(g), 0);
-    }
-    print_row("K_{1,6}", "take all", "t = 6", "0", row);
-  }
-
-  // --- K_{2,t}: Theorem 4.4 ----------------------------------------------
-  {
-    const int t = 6;
-    RowResult row;
-    for (int links : {6, 10}) {
-      const Graph g = graph::gen::theta_chain(links, t - 1);
-      const auto result = core::theorem44_mds(g);
-      accumulate(row, g, result.solution, result.traffic.rounds);
-    }
-    ding::CactusConfig cfg;
-    cfg.pieces = 10;
-    cfg.t = t;
-    for (int trial = 0; trial < 3; ++trial) {
-      const Graph g = ding::random_cactus_of_structures(cfg, rng);
-      const auto result = core::theorem44_mds(g);
-      accumulate(row, g, result.solution, result.traffic.rounds);
-    }
-    print_row("K_{2,6}", "Thm 4.4 (2t-1)", "11", "3", row);
-  }
-
-  // --- K_{2,t}: Algorithm 1 ----------------------------------------------
-  {
-    const int t = 6;
-    RowResult row;
-    core::Algorithm1Config cfg;
-    cfg.t = t;
-    cfg.radius1 = 4;
-    cfg.radius2 = 4;
-    for (int links : {6, 10}) {
-      const Graph g = graph::gen::theta_chain(links, t - 1);
-      const auto result = core::algorithm1(g, cfg);
-      accumulate(row, g, result.dominating_set, result.diag.rounds);
-    }
-    ding::CactusConfig ccfg;
-    ccfg.pieces = 10;
-    ccfg.t = t;
-    for (int trial = 0; trial < 3; ++trial) {
-      const Graph g = ding::random_cactus_of_structures(ccfg, rng);
-      const auto result = core::algorithm1(g, cfg);
-      accumulate(row, g, result.dominating_set, result.diag.rounds);
-    }
-    print_row("K_{2,6}", "Algorithm 1 (Thm 4.1)", "50 (51)", "O_t(1)", row);
-  }
-
-  // --- K_t (via planar = K_5-minor-free): KSV-style ----------------------
-  {
-    RowResult row;
-    for (int trial = 0; trial < 3; ++trial) {
-      const Graph g = graph::gen::apollonian(80, rng);
-      accumulate(row, g, core::ksv_style(g, 4), 4);
-    }
-    print_row("K_5 (for K_t row)", "KSV-style (for [18])", "t^O(..)", "O(1)", row);
+    std::printf("%-22s %-24s %-12s %-8s %8.2f%s %7d    %s\n", row.klass, row.label,
+                row.paper_ratio, row.paper_rounds, worst_ratio, exact ? " " : "*", rounds,
+                all_valid ? "ok" : "INVALID");
   }
 
   std::printf("%s\n", std::string(96, '-').c_str());

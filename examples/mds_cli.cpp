@@ -1,64 +1,102 @@
-// Command-line driver: run any of the library's dominating-set / vertex-
-// cover algorithms on an edge-list graph from a file or stdin.
+// Command-line driver: run any registered dominating-set / vertex-cover
+// solver on an edge-list graph from a file or stdin. The algorithm list and
+// per-solver options come straight from api::Registry, so this driver can
+// never drift from the library: anything registered is runnable here.
 //
-//   usage: mds_cli <algorithm> [file] [--t N] [--r1 N] [--r2 N] [--quiet]
+//   usage: mds_cli <algorithm> [file] [--<param> N ...] [--local] [--quiet]
 //
-//   algorithms: algorithm1 | algorithm1-mvc | theorem44 | theorem44-mvc |
-//               greedy | exact | exact-mvc | ksv | take-all | tree-rule
+// Any parameter the chosen solver's SolverSpec declares is accepted as
+// --<name> N (--r1/--r2 are kept as aliases for radius1/radius2); the
+// registry rejects names the solver does not declare.
 //
 //   $ ./mds_cli algorithm1 graph.txt --t 5 --r1 4 --r2 4
-//   $ ./mds_cli theorem44 < graph.txt
+//   $ ./mds_cli theorem44 --local < graph.txt
+//
+// Exit codes: 0 valid solution; 1 solver failure or invalid solution;
+//             2 usage error; 3 unknown algorithm;
+//             4 unreadable or unparseable input.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "core/algorithm1.hpp"
-#include "core/baselines.hpp"
-#include "core/metrics.hpp"
-#include "core/mvc.hpp"
-#include "core/theorem44.hpp"
+#include "api/registry.hpp"
 #include "graph/io.hpp"
-#include "solve/exact_mds.hpp"
-#include "solve/exact_mvc.hpp"
-#include "solve/greedy.hpp"
-#include "solve/validate.hpp"
 
 namespace {
 
+constexpr int kExitInvalid = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownAlgorithm = 3;
+constexpr int kExitUnreadableFile = 4;
+
 int usage() {
+  const auto& reg = lmds::api::Registry::instance();
   std::fprintf(stderr,
-               "usage: mds_cli <algorithm> [file] [--t N] [--r1 N] [--r2 N] [--quiet]\n"
-               "algorithms: algorithm1 | algorithm1-mvc | theorem44 | theorem44-mvc |\n"
-               "            greedy | exact | exact-mvc | ksv | take-all | tree-rule\n");
-  return 2;
+               "usage: mds_cli <algorithm> [file] [--<param> N ...] [--local] [--quiet]\n"
+               "algorithms (with their --<param>=default options):\n");
+  for (const lmds::api::SolverSpec* spec : reg.specs()) {
+    std::string params;
+    for (const auto& p : spec->params) {
+      params += params.empty() ? "  [" : ", ";
+      params += p.name + "=" + std::to_string(p.default_value);
+    }
+    if (!params.empty()) params += "]";
+    const std::string_view problem = to_string(spec->problem);
+    std::fprintf(stderr, "  %-15s (%.*s%s) %s%s\n", spec->name.c_str(),
+                 static_cast<int>(problem.size()), problem.data(),
+                 spec->supports(lmds::api::Mode::Local) ? ", local" : "",
+                 spec->summary.c_str(), params.c_str());
+  }
+  return kExitUsage;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace lmds;
+  const auto& reg = api::Registry::instance();
   if (argc < 2) return usage();
   const std::string algorithm = argv[1];
+  const api::SolverSpec* spec = reg.find(algorithm);
+  if (!spec) {
+    std::fprintf(stderr, "mds_cli: unknown algorithm '%s'\n", algorithm.c_str());
+    usage();
+    return kExitUnknownAlgorithm;
+  }
 
   std::string file;
-  int t = 5;
-  int r1 = 4;
-  int r2 = 4;
+  api::Request req;
   bool quiet = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--t" && i + 1 < argc) {
-      t = std::atoi(argv[++i]);
-    } else if (arg == "--r1" && i + 1 < argc) {
-      r1 = std::atoi(argv[++i]);
-    } else if (arg == "--r2" && i + 1 < argc) {
-      r2 = std::atoi(argv[++i]);
+    if (arg == "--local") {
+      req.measure_traffic = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      // Generic --<param> N: any name the solver's spec declares works
+      // (validated by the registry); --r1/--r2 stay as short aliases.
+      // A non-numeric value ("--t --quiet", "--t graph.txt") is a usage
+      // error, not a silent 0.
+      std::string name = arg.substr(2);
+      if (name == "r1") name = "radius1";
+      if (name == "r2") name = "radius2";
+      const char* raw = argv[++i];
+      errno = 0;
+      char* end = nullptr;
+      const long value = std::strtol(raw, &end, 10);
+      if (end == raw || *end != '\0' || errno == ERANGE || value < INT_MIN ||
+          value > INT_MAX) {
+        std::fprintf(stderr, "mds_cli: invalid value '%s' for %s\n", raw, arg.c_str());
+        return usage();
+      }
+      req.options[name] = static_cast<int>(value);
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {
@@ -74,76 +112,43 @@ int main(int argc, char** argv) {
       std::ifstream in(file);
       if (!in) {
         std::fprintf(stderr, "mds_cli: cannot open %s\n", file.c_str());
-        return 1;
+        return kExitUnreadableFile;
       }
       g = graph::read_edge_list(in);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mds_cli: %s\n", e.what());
-    return 1;
+    return kExitUnreadableFile;
   }
 
-  core::Algorithm1Config cfg;
-  cfg.t = t;
-  cfg.radius1 = r1;
-  cfg.radius2 = r2;
-
-  std::vector<graph::Vertex> solution;
-  bool is_cover_problem = false;
-  int rounds = -1;
+  req.graph = &g;
+  req.measure_ratio = !quiet && g.num_vertices() <= 300;
+  api::Response res;
   try {
-    if (algorithm == "algorithm1") {
-      const auto result = core::algorithm1(g, cfg);
-      solution = result.dominating_set;
-      rounds = result.diag.rounds;
-    } else if (algorithm == "algorithm1-mvc") {
-      const auto result = core::algorithm1_mvc(g, cfg);
-      solution = result.vertex_cover;
-      rounds = result.diag.rounds;
-      is_cover_problem = true;
-    } else if (algorithm == "theorem44") {
-      const auto result = core::theorem44_mds(g);
-      solution = result.solution;
-      rounds = result.traffic.rounds;
-    } else if (algorithm == "theorem44-mvc") {
-      const auto result = core::theorem44_mvc(g);
-      solution = result.solution;
-      rounds = result.traffic.rounds;
-      is_cover_problem = true;
-    } else if (algorithm == "greedy") {
-      solution = solve::greedy_mds(g);
-    } else if (algorithm == "exact") {
-      solution = solve::exact_mds(g);
-    } else if (algorithm == "exact-mvc") {
-      solution = solve::exact_mvc(g);
-      is_cover_problem = true;
-    } else if (algorithm == "ksv") {
-      solution = core::ksv_style(g, 3);
-    } else if (algorithm == "take-all") {
-      solution = core::take_all(g);
-    } else if (algorithm == "tree-rule") {
-      solution = core::tree_degree_rule(g);
-    } else {
-      return usage();
-    }
+    res = reg.run(algorithm, req);
+  } catch (const api::RequestError& e) {
+    // Option the solver does not declare, or --local on a centralized-only
+    // solver: a usage problem, not a solver failure. Solver-internal
+    // exceptions (including invalid_argument) fall through to exit 1.
+    std::fprintf(stderr, "mds_cli: %s\n", e.what());
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mds_cli: %s failed: %s\n", algorithm.c_str(), e.what());
-    return 1;
+    return kExitInvalid;
   }
 
-  const bool valid = is_cover_problem ? solve::is_vertex_cover(g, solution)
-                                      : solve::is_dominating_set(g, solution);
   if (!quiet) {
     std::printf("# %s on %s\n", algorithm.c_str(), g.summary().c_str());
-    std::printf("# |S| = %zu, valid = %s", solution.size(), valid ? "yes" : "NO");
-    if (rounds >= 0) std::printf(", rounds = %d", rounds);
-    if (g.num_vertices() <= 300) {
-      const auto report = is_cover_problem ? core::measure_mvc_ratio(g, solution)
-                                           : core::measure_mds_ratio(g, solution);
-      std::printf(", ratio = %s", report.to_string().c_str());
+    std::printf("# |S| = %zu, valid = %s", res.solution.size(), res.valid ? "yes" : "NO");
+    if (res.diag.rounds >= 0) std::printf(", rounds = %d", res.diag.rounds);
+    if (res.diag.traffic_measured) {
+      std::printf(", messages = %llu, bytes = %llu",
+                  static_cast<unsigned long long>(res.diag.traffic.messages),
+                  static_cast<unsigned long long>(res.diag.traffic.bytes));
     }
+    if (res.ratio_measured) std::printf(", ratio = %s", res.ratio.to_string().c_str());
     std::printf("\n");
   }
-  for (graph::Vertex v : solution) std::printf("%d\n", v);
-  return valid ? 0 : 1;
+  for (graph::Vertex v : res.solution) std::printf("%d\n", v);
+  return res.valid ? 0 : kExitInvalid;
 }

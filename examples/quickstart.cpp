@@ -1,20 +1,20 @@
-// Quickstart: build a K_{2,t}-minor-free graph, run the paper's two
+// Quickstart: build a K_{2,t}-minor-free graph and run the paper's two
 // algorithms (Algorithm 1 of Theorem 4.1 and the 3-round rule of
-// Theorem 4.4), and compare against the exact optimum.
+// Theorem 4.4) against the exact optimum — all through the one uniform
+// api::Registry surface every solver in this library is reachable from.
 //
 //   $ ./quickstart
 
 #include <cstdio>
+#include <vector>
 
-#include "core/algorithm1.hpp"
-#include "core/metrics.hpp"
-#include "core/theorem44.hpp"
+#include "api/registry.hpp"
 #include "graph/generators.hpp"
-#include "solve/exact_mds.hpp"
 #include "solve/validate.hpp"
 
 int main() {
   using namespace lmds;
+  const auto& registry = api::Registry::instance();
 
   // A theta chain: 9 hubs in a row, consecutive hubs joined by 4 parallel
   // length-2 paths. This graph is K_{2,5}-minor-free (t = 5).
@@ -22,36 +22,55 @@ int main() {
   const graph::Graph g = graph::gen::theta_chain(8, t - 1);
   std::printf("input: %s, K_{2,%d}-minor-free\n", g.summary().c_str(), t);
 
-  // Exact optimum (ground truth for the ratios below).
-  const auto optimum = solve::exact_mds(g);
-  std::printf("exact MDS: %zu vertices\n\n", optimum.size());
+  // One request shape serves every solver: graph + named options + flags.
+  api::Request req;
+  req.graph = &g;
+  req.measure_ratio = true;
+
+  // Exact optimum (ground truth for the ratios below; no measure_ratio —
+  // comparing the exact solver against itself would just solve twice).
+  api::Request exact_req;
+  exact_req.graph = &g;
+  const api::Response exact = registry.run("exact", exact_req);
+  std::printf("exact MDS: %zu vertices\n\n", exact.solution.size());
 
   // Theorem 4.4: 3 rounds, (2t-1)-approximation.
-  const auto quick = core::theorem44_mds(g);
-  const auto quick_ratio = core::measure_mds_ratio(g, quick.solution);
-  std::printf("Theorem 4.4  (3 rounds):        |S| = %3zu   ratio %s\n",
-              quick.solution.size(), quick_ratio.to_string().c_str());
+  const api::Response quick = registry.run("theorem44", req);
+  std::printf("Theorem 4.4  (%d rounds):        |S| = %3zu   ratio %s\n", quick.diag.rounds,
+              quick.solution.size(), quick.ratio.to_string().c_str());
 
   // Algorithm 1: constant approximation independent of t. The paper radii
   // m3.2 = 43t+2 and m3.3 = 73t+5 exceed this graph's diameter, so radius 4
-  // already realises the same local cuts.
-  core::Algorithm1Config cfg;
-  cfg.t = t;
-  cfg.radius1 = 4;
-  cfg.radius2 = 4;
-  const auto full = core::algorithm1(g, cfg);
-  const auto full_ratio = core::measure_mds_ratio(g, full.dominating_set);
-  std::printf("Algorithm 1  (%2d rounds):       |S| = %3zu   ratio %s\n",
-              full.diag.rounds, full.dominating_set.size(), full_ratio.to_string().c_str());
+  // (the registry default) already realises the same local cuts.
+  api::Request alg1 = req;
+  alg1.options["t"] = t;
+  const api::Response full = registry.run("algorithm1", alg1);
+  std::printf("Algorithm 1  (%2d rounds):       |S| = %3zu   ratio %s\n", full.diag.rounds,
+              full.solution.size(), full.ratio.to_string().c_str());
   std::printf("  breakdown: %zu local 1-cut vertices, %zu interesting vertices, "
               "%zu brute-forced, %d residual components (max diameter %d)\n",
-              full.diag.one_cuts.size(), full.diag.interesting.size(),
+              full.diag.one_cuts.size(), full.diag.two_cut_vertices.size(),
               full.diag.brute_forced.size(), full.diag.residual_components,
               full.diag.max_residual_diameter);
 
-  // Both outputs really are dominating sets.
-  const bool ok = solve::is_dominating_set(g, quick.solution) &&
-                  solve::is_dominating_set(g, full.dominating_set);
+  // The same request executed across a batch of graphs — the serving seam.
+  const std::vector<graph::Graph> batch = {graph::gen::theta_chain(4, t - 1),
+                                           graph::gen::theta_chain(6, t - 1), g};
+  api::Request batch_req;  // only |S| is printed; skip the exact-reference solves
+  const auto responses =
+      registry.run_batch("theorem44", {batch.data(), batch.size()}, batch_req);
+  std::printf("\nrun_batch(theorem44) over %zu graphs:", batch.size());
+  for (const auto& res : responses) std::printf(" |S|=%zu", res.solution.size());
+  std::printf("\n");
+
+  std::printf("\nregistered solvers:");
+  for (const auto& name : registry.names()) std::printf(" %s", name.c_str());
+  std::printf("\n");
+
+  // Both outputs really are dominating sets (the registry checks too).
+  const bool ok = quick.valid && full.valid &&
+                  solve::is_dominating_set(g, quick.solution) &&
+                  solve::is_dominating_set(g, full.solution);
   std::printf("\nvalidation: %s\n", ok ? "both outputs dominate" : "BUG: invalid output");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,115 @@
+#pragma once
+// Unified solver API types: every MDS / MVC algorithm in the library is
+// described by a SolverSpec and invoked through one Request -> Response
+// surface (see registry.hpp for the process-wide Registry).
+//
+// The point is the *comparison*: Table 1 of the paper lines up Algorithm 1,
+// the 3-round Theorem 4.4 rule, folklore baselines and KSV-style rules, yet
+// each used to be a bespoke struct (`Algorithm1Result`, `Theorem44Result`,
+// bare vectors...). One uniform surface is also the seam the ROADMAP's
+// serving/batching/caching layers build on: callers hold a Request, not a
+// call site per algorithm.
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "graph/graph.hpp"
+#include "local/simulator.hpp"
+
+namespace lmds::api {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Which covering problem a solver answers.
+enum class Problem { Mds, Mvc };
+
+/// How a solver executes. Centralized evaluates the rule on the whole graph;
+/// Local runs the message-passing simulator and measures real traffic.
+enum class Mode { Centralized, Local };
+
+std::string_view to_string(Problem p);
+std::string_view to_string(Mode m);
+
+/// Thrown by Registry for malformed requests — unknown solver name, null
+/// graph, an option the spec does not declare, or measure_traffic on a
+/// solver without a Local mode. Distinct from algorithm failures, which
+/// propagate the algorithm's own exception types, so callers (e.g. the CLI)
+/// can map the two to different exit codes.
+struct RequestError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// One named integer parameter a solver accepts, with its default.
+struct ParamSpec {
+  std::string name;
+  int default_value = 0;
+  std::string description;
+};
+
+/// Static description of a registered solver.
+struct SolverSpec {
+  std::string name;     ///< registry key, e.g. "algorithm1"
+  Problem problem = Problem::Mds;
+  std::vector<Mode> modes = {Mode::Centralized};  ///< supported execution modes
+  std::string summary;  ///< one line for --help / docs
+  std::vector<ParamSpec> params;
+
+  bool supports(Mode m) const;
+  /// Default of a declared parameter; throws std::invalid_argument if the
+  /// spec does not declare `param`.
+  int param_default(std::string_view param) const;
+};
+
+/// Named integer options; anything unset falls back to the SolverSpec
+/// default. Transparent comparator so lookups take string_view.
+using Options = std::map<std::string, int, std::less<>>;
+
+/// One solve request. The graph is borrowed, not owned — it must outlive the
+/// run() call (batch entry points take spans of graphs instead).
+struct Request {
+  const Graph* graph = nullptr;
+  Options options;
+  /// Execute the LOCAL path through the message-passing simulator and fill
+  /// Diagnostics::traffic with measured rounds/messages/bytes. Requesting
+  /// this on a solver without a Local mode is an error.
+  bool measure_traffic = false;
+  /// Fill Response::ratio via core::measure_mds_ratio / measure_mvc_ratio
+  /// (runs the exact solver or a lower bound — costs time on big graphs).
+  bool measure_ratio = false;
+};
+
+/// Execution detail common to every solver, folding the fields of the old
+/// Algorithm1Diagnostics / MvcAlgorithm1Diagnostics and local::TrafficStats
+/// into one shape. Fields a solver has nothing to say about keep their
+/// zero/empty defaults.
+struct Diagnostics {
+  int rounds = -1;  ///< model-level LOCAL rounds; -1 = centralized-only solver
+  local::TrafficStats traffic;    ///< measured iff traffic_measured
+  bool traffic_measured = false;  ///< true iff the run went through the simulator
+  // Algorithm-1 family detail:
+  int twin_classes = 0;                  ///< |V(G⁻)| (MDS pipeline only)
+  std::vector<Vertex> one_cuts;          ///< X, input indices
+  std::vector<Vertex> two_cut_vertices;  ///< I (MDS: interesting) or all 2-cut vertices (MVC)
+  std::vector<Vertex> brute_forced;      ///< step-3 additions
+  int residual_components = 0;
+  int max_residual_diameter = 0;
+};
+
+/// One solve response. `solution` is sorted in input-graph indices; `valid`
+/// is always checked against solve::is_dominating_set / is_vertex_cover.
+struct Response {
+  std::string solver;
+  Problem problem = Problem::Mds;
+  std::vector<Vertex> solution;
+  bool valid = false;
+  core::RatioReport ratio;      ///< meaningful iff ratio_measured
+  bool ratio_measured = false;
+  Diagnostics diag;
+};
+
+}  // namespace lmds::api

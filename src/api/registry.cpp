@@ -1,0 +1,146 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+
+#include "solve/validate.hpp"
+
+namespace lmds::api {
+
+std::string_view to_string(Problem p) { return p == Problem::Mds ? "mds" : "mvc"; }
+
+std::string_view to_string(Mode m) {
+  return m == Mode::Centralized ? "centralized" : "local";
+}
+
+bool SolverSpec::supports(Mode m) const {
+  return std::find(modes.begin(), modes.end(), m) != modes.end();
+}
+
+int SolverSpec::param_default(std::string_view param) const {
+  for (const ParamSpec& p : params) {
+    if (p.name == param) return p.default_value;
+  }
+  throw std::invalid_argument("solver '" + name + "' has no parameter '" +
+                              std::string(param) + "'");
+}
+
+// The built-in registration hook lives in builtin_solvers.cpp; keeping it a
+// plain function (not static-initializer magic) makes registration immune to
+// static-library dead-stripping and init-order issues.
+void register_builtin_solvers(Registry& reg);
+
+Registry& Registry::instance() {
+  static Registry* reg = [] {
+    auto* r = new Registry();
+    register_builtin_solvers(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void Registry::add(SolverSpec spec, SolveFn fn) {
+  if (spec.name.empty()) throw std::invalid_argument("solver name must be non-empty");
+  if (!fn) throw std::invalid_argument("solver '" + spec.name + "' has no solve function");
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), spec.name,
+      [](const Entry& e, const std::string& name) { return e.spec.name < name; });
+  if (pos != entries_.end() && pos->spec.name == spec.name) {
+    throw std::invalid_argument("solver '" + spec.name + "' is already registered");
+  }
+  entries_.insert(pos, Entry{std::move(spec), std::move(fn)});
+}
+
+const Registry::Entry* Registry::find_entry(std::string_view name) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, std::string_view n) { return e.spec.name < n; });
+  if (pos == entries_.end() || pos->spec.name != name) return nullptr;
+  return &*pos;
+}
+
+const SolverSpec* Registry::find(std::string_view name) const {
+  const Entry* e = find_entry(name);
+  return e ? &e->spec : nullptr;
+}
+
+const SolverSpec& Registry::at(std::string_view name) const {
+  const SolverSpec* spec = find(name);
+  if (!spec) throw RequestError("unknown solver '" + std::string(name) + "'");
+  return *spec;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.spec.name);
+  return out;
+}
+
+std::vector<const SolverSpec*> Registry::specs() const {
+  std::vector<const SolverSpec*> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(&e.spec);
+  return out;
+}
+
+Response Registry::run(std::string_view name, const Request& req) const {
+  const Entry* entry = find_entry(name);
+  if (!entry) throw RequestError("unknown solver '" + std::string(name) + "'");
+  const SolverSpec& spec = entry->spec;
+  if (!req.graph) {
+    throw RequestError("solver '" + spec.name + "': request has no graph");
+  }
+  if (req.measure_traffic && !spec.supports(Mode::Local)) {
+    throw RequestError("solver '" + spec.name +
+                       "' has no Local mode; cannot measure traffic");
+  }
+  for (const auto& [key, value] : req.options) {
+    (void)value;
+    const bool declared = std::any_of(spec.params.begin(), spec.params.end(),
+                                      [&](const ParamSpec& p) { return p.name == key; });
+    if (!declared) {
+      throw RequestError("solver '" + spec.name + "' has no parameter '" + key + "'");
+    }
+  }
+
+  Options params;
+  for (const ParamSpec& p : spec.params) {
+    const auto it = req.options.find(p.name);
+    params[p.name] = it != req.options.end() ? it->second : p.default_value;
+  }
+
+  const SolveContext ctx{*req.graph, params, req.measure_traffic};
+  SolverOutput out = entry->solve(ctx);
+
+  Response res;
+  res.solver = spec.name;
+  res.problem = spec.problem;
+  res.solution = std::move(out.solution);
+  std::sort(res.solution.begin(), res.solution.end());
+  res.diag = std::move(out.diag);
+  res.valid = spec.problem == Problem::Mds
+                  ? solve::is_dominating_set(*req.graph, res.solution)
+                  : solve::is_vertex_cover(*req.graph, res.solution);
+  if (req.measure_ratio) {
+    res.ratio = spec.problem == Problem::Mds
+                    ? core::measure_mds_ratio(*req.graph, res.solution)
+                    : core::measure_mvc_ratio(*req.graph, res.solution);
+    res.ratio_measured = true;
+  }
+  return res;
+}
+
+std::vector<Response> Registry::run_batch(std::string_view name,
+                                          std::span<const Graph> graphs,
+                                          const Request& req) const {
+  std::vector<Response> out;
+  out.reserve(graphs.size());
+  Request one = req;  // one copy of the options map, not one per graph
+  for (const Graph& g : graphs) {
+    one.graph = &g;
+    out.push_back(run(name, one));
+  }
+  return out;
+}
+
+}  // namespace lmds::api

@@ -1,0 +1,89 @@
+#pragma once
+// The process-wide solver registry: name -> (SolverSpec, adapter). All of
+// the library's algorithms self-register on first access of
+// Registry::instance(), so enumerating `specs()` is guaranteed to see every
+// solver the CLI, benches and tests can reach — the lists can never drift.
+//
+//   const auto& reg = api::Registry::instance();
+//   api::Request req;
+//   req.graph = &g;
+//   req.options["t"] = 5;
+//   api::Response res = reg.run("algorithm1", req);
+//
+// run_batch() executes one request shape across many graphs — the serving /
+// batching seam of the ROADMAP (a later PR shards this across threads or
+// backends without touching any call site).
+
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/api.hpp"
+
+namespace lmds::api {
+
+/// Everything an adapter sees: the graph, fully-resolved parameters (every
+/// declared ParamSpec present — defaults merged in), and whether to take the
+/// LOCAL simulator path.
+struct SolveContext {
+  const Graph& graph;
+  const Options& params;
+  bool local = false;
+};
+
+/// What an adapter produces; the registry fills in the rest of Response
+/// (solver name, problem, validity, optional ratio).
+struct SolverOutput {
+  std::vector<Vertex> solution;
+  Diagnostics diag;
+};
+
+/// Adapter from the uniform surface to one concrete algorithm.
+using SolveFn = std::function<SolverOutput(const SolveContext&)>;
+
+class Registry {
+ public:
+  /// The process-wide registry with every built-in solver registered.
+  static Registry& instance();
+
+  /// Registers a solver. Throws std::invalid_argument on an empty or
+  /// duplicate name.
+  void add(SolverSpec spec, SolveFn fn);
+
+  /// Spec lookup; nullptr when `name` is not registered.
+  const SolverSpec* find(std::string_view name) const;
+
+  /// Spec lookup; throws std::invalid_argument when `name` is unknown.
+  const SolverSpec& at(std::string_view name) const;
+
+  /// Registered solver names, sorted.
+  std::vector<std::string> names() const;
+
+  /// All specs, sorted by name.
+  std::vector<const SolverSpec*> specs() const;
+
+  /// Runs one request. Throws std::invalid_argument for an unknown solver,
+  /// a null graph, an option the spec does not declare, or measure_traffic
+  /// on a solver without a Local mode. Solution is sorted; validity is
+  /// always checked; ratio measured iff requested.
+  Response run(std::string_view name, const Request& req) const;
+
+  /// Runs the same request shape across many graphs (req.graph is ignored);
+  /// response i answers graphs[i]. The batching seam for the serving layer.
+  std::vector<Response> run_batch(std::string_view name, std::span<const Graph> graphs,
+                                  const Request& req) const;
+
+ private:
+  struct Entry {
+    SolverSpec spec;
+    SolveFn solve;
+  };
+  std::vector<Entry> entries_;  // sorted by spec.name
+
+  const Entry* find_entry(std::string_view name) const;
+};
+
+}  // namespace lmds::api

@@ -106,6 +106,7 @@ MvcAlgorithm1Result algorithm1_mvc_local(const local::Network& net,
 
   MvcAlgorithm1Result result =
       run_mvc_pipeline(g, cfg, std::move(one_cuts), std::move(two_cut_vertices));
+  result.diag.traffic = traffic;
   return result;
 }
 

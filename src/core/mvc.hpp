@@ -21,6 +21,7 @@ struct MvcAlgorithm1Diagnostics {
   int residual_components = 0;
   int max_residual_diameter = 0;
   int rounds = 0;
+  local::TrafficStats traffic;  ///< filled by the simulator path
 };
 
 /// Result of the MVC variant.
