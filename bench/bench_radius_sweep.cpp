@@ -5,33 +5,37 @@
 // the sets X (local 1-cuts) and I (interesting) shift work between the cut
 // steps and the brute-force step, ratio stays valid throughout, and rounds
 // grow linearly with the radius.
+//
+// Runs through api::Registry — the radius knobs travel as Request options
+// and the ratio comes back on the Response, so this bench exercises exactly
+// the surface a serving deployment would.
 
 #include <cstdio>
 #include <string>
 
-#include "core/algorithm1.hpp"
-#include "core/metrics.hpp"
+#include "api/registry.hpp"
 #include "graph/generators.hpp"
-#include "graph/ops.hpp"
 
 namespace {
 
 void sweep(const lmds::graph::Graph& g, const char* label, int t) {
   using namespace lmds;
+  const auto& registry = api::Registry::instance();
   std::printf("%s (n = %d, t = %d)\n", label, g.num_vertices(), t);
   std::printf("%6s %8s %6s %6s %8s %10s %8s %8s\n", "radius", "|S|", "|X|", "|I|", "brute",
               "res.diam", "rounds", "ratio");
   for (const int r : {1, 2, 3, 4, 6, 8, 12}) {
-    core::Algorithm1Config cfg;
-    cfg.t = t;
-    cfg.radius1 = r;
-    cfg.radius2 = r;
-    const auto result = core::algorithm1(g, cfg);
-    const auto ratio = core::measure_mds_ratio(g, result.dominating_set);
-    std::printf("%6d %8zu %6zu %6zu %8zu %10d %8d %8.2f\n", r, result.dominating_set.size(),
-                result.diag.one_cuts.size(), result.diag.interesting.size(),
-                result.diag.brute_forced.size(), result.diag.max_residual_diameter,
-                result.diag.rounds, ratio.ratio);
+    api::Request req;
+    req.graph = &g;
+    req.options["t"] = t;
+    req.options["radius1"] = r;
+    req.options["radius2"] = r;
+    req.measure_ratio = true;
+    const api::Response res = registry.run("algorithm1", req);
+    std::printf("%6d %8zu %6zu %6zu %8zu %10d %8d %8.2f\n", r, res.solution.size(),
+                res.diag.one_cuts.size(), res.diag.two_cut_vertices.size(),
+                res.diag.brute_forced.size(), res.diag.max_residual_diameter,
+                res.diag.rounds, res.ratio.ratio);
   }
   std::printf("\n");
 }

@@ -9,10 +9,9 @@
 #include <random>
 #include <string>
 
-#include "core/algorithm1.hpp"
+#include "api/registry.hpp"
 #include "ding/generators.hpp"
 #include "graph/bfs.hpp"
-#include "solve/validate.hpp"
 
 int main() {
   using namespace lmds;
@@ -34,15 +33,17 @@ int main() {
     cfg.max_length = length;
     const auto aug = ding::random_augmentation(cfg, rng);
 
-    core::Algorithm1Config acfg;
-    acfg.t = 6;
-    acfg.radius1 = 3;
-    acfg.radius2 = 3;
-    const auto result = core::algorithm1(aug.graph, acfg);
+    // Through the registry: residual-component detail arrives on
+    // Response::diag, validity is the always-checked Response::valid.
+    api::Request req;
+    req.graph = &aug.graph;
+    req.options["t"] = 6;
+    req.options["radius1"] = 3;
+    req.options["radius2"] = 3;
+    const api::Response res = api::Registry::instance().run("algorithm1", req);
     std::printf("%12d %6d %12d %14d %14d %8s\n", length, aug.graph.num_vertices(),
-                graph::diameter(aug.graph), result.diag.residual_components,
-                result.diag.max_residual_diameter,
-                solve::is_dominating_set(aug.graph, result.dominating_set) ? "ok" : "INVALID");
+                graph::diameter(aug.graph), res.diag.residual_components,
+                res.diag.max_residual_diameter, res.valid ? "ok" : "INVALID");
   }
 
   std::printf("%s\n", std::string(72, '-').c_str());

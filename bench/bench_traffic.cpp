@@ -5,11 +5,9 @@
 // real network, i.e. the gap a CONGEST implementation would need to close.
 
 #include <cstdio>
-#include <random>
 #include <string>
 
-#include "core/algorithm1.hpp"
-#include "core/theorem44.hpp"
+#include "api/registry.hpp"
 #include "graph/generators.hpp"
 #include "local/view.hpp"
 
@@ -32,25 +30,33 @@ int main() {
     }
   }
 
+  // End-to-end runs go through the registry's LOCAL path: measure_traffic
+  // routes the request through the message-passing simulator and the counts
+  // come back on Response::diag.traffic.
   std::printf("\nEnd-to-end algorithm traffic (theta chain, links = 12, parallel = 4):\n");
   const graph::Graph g = graph::gen::theta_chain(12, 4);
-  std::mt19937_64 rng(777);
-  const local::Network net = local::Network::with_random_ids(g, rng);
+  const auto& registry = api::Registry::instance();
   {
-    const auto result = core::theorem44_mds_local(net);
+    api::Request req;
+    req.graph = &g;
+    req.measure_traffic = true;
+    const api::Response res = registry.run("theorem44", req);
     std::printf("  Theorem 4.4:  rounds %2d  messages %8llu  bytes %10llu\n",
-                result.traffic.rounds, static_cast<unsigned long long>(result.traffic.messages),
-                static_cast<unsigned long long>(result.traffic.bytes));
+                res.diag.traffic.rounds,
+                static_cast<unsigned long long>(res.diag.traffic.messages),
+                static_cast<unsigned long long>(res.diag.traffic.bytes));
   }
   {
-    core::Algorithm1Config cfg;
-    cfg.t = 5;
-    cfg.radius1 = 3;
-    cfg.radius2 = 3;
-    const auto result = core::algorithm1_local(net, cfg);
-    std::printf("  Algorithm 1:  rounds %2d  messages %8llu  bytes %10llu\n", result.diag.rounds,
-                static_cast<unsigned long long>(result.diag.traffic.messages),
-                static_cast<unsigned long long>(result.diag.traffic.bytes));
+    api::Request req;
+    req.graph = &g;
+    req.measure_traffic = true;
+    req.options["t"] = 5;
+    req.options["radius1"] = 3;
+    req.options["radius2"] = 3;
+    const api::Response res = registry.run("algorithm1", req);
+    std::printf("  Algorithm 1:  rounds %2d  messages %8llu  bytes %10llu\n", res.diag.rounds,
+                static_cast<unsigned long long>(res.diag.traffic.messages),
+                static_cast<unsigned long long>(res.diag.traffic.bytes));
   }
   std::printf("\nReading: messages grow as (directed edges) x rounds; bytes grow faster\n"
               "(knowledge snowballs), which is precisely why these algorithms live in\n"

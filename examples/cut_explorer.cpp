@@ -1,6 +1,8 @@
 // Structure explorer: dissects a graph with the library's connectivity
 // substrate — block-cut tree, SPQR decomposition, r-local cuts at several
-// radii, interesting vertices, and the §5.3 interesting-2-cut forest.
+// radii, interesting vertices, and the §5.3 interesting-2-cut forest — then
+// runs every solver the api::Registry knows on it, so the structural view
+// and the algorithmic outcomes sit side by side.
 // Reads an edge list from stdin, or demonstrates on a built-in instance.
 //
 //   $ ./cut_explorer < graph.txt
@@ -10,11 +12,13 @@
 #include <iostream>
 #include <unistd.h>
 
+#include "api/registry.hpp"
 #include "cuts/block_cut.hpp"
 #include "cuts/interesting.hpp"
 #include "cuts/local_cuts.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "graph/hash.hpp"
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
 #include "spqr/cut_forest.hpp"
@@ -37,6 +41,8 @@ int main() {
     g = graph::read_edge_list(std::cin);
     std::printf("read %s\n", g.summary().c_str());
   }
+  std::printf("fingerprint %016llx (graph_hash — the response-cache key component)\n",
+              static_cast<unsigned long long>(graph::graph_hash(g)));
 
   std::printf("\n== block-cut tree ==\n");
   const auto bct = cuts::block_cut_tree(g);
@@ -72,6 +78,26 @@ int main() {
   for (std::size_t i = 0; i < 3; ++i) {
     std::printf("P%zu:", i + 1);
     for (const cuts::VertexPair p : forest.families[i]) std::printf(" {%d,%d}", p.u, p.v);
+    std::printf("\n");
+  }
+
+  // How the structure plays out algorithmically: every registered solver on
+  // this graph, through the uniform Request -> Response surface. The exact
+  // references are skipped on large inputs (branch & bound).
+  std::printf("\n== every registered solver on this graph ==\n");
+  const auto& registry = api::Registry::instance();
+  for (const api::SolverSpec* spec : registry.specs()) {
+    if (spec->name.rfind("exact", 0) == 0 && g.num_vertices() > 60) {
+      std::printf("%-15s (skipped: n > 60)\n", spec->name.c_str());
+      continue;
+    }
+    api::Request req;
+    req.graph = &g;
+    const api::Response res = registry.run(spec->name, req);
+    std::printf("%-15s (%s) |S| = %3zu  %s", spec->name.c_str(),
+                std::string(to_string(spec->problem)).c_str(), res.solution.size(),
+                res.valid ? "valid" : "INVALID");
+    if (res.diag.rounds >= 0) std::printf("  rounds %d", res.diag.rounds);
     std::printf("\n");
   }
 

@@ -2,20 +2,16 @@
 // every link has a probing endpoint — a minimum vertex cover. The paper
 // extends both of its results to MVC; this example runs the 3-round
 // t-approximation (Theorem 4.4) and the Algorithm-1 variant (all local
-// 2-cuts + per-component brute force) on a redundant backbone topology.
+// 2-cuts + per-component brute force) on a redundant backbone topology,
+// all three solvers (exact reference included) through api::Registry.
 //
 //   $ ./link_monitoring [links] [parallel]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/algorithm1.hpp"
-#include "core/metrics.hpp"
-#include "core/mvc.hpp"
-#include "core/theorem44.hpp"
+#include "api/registry.hpp"
 #include "graph/generators.hpp"
-#include "solve/exact_mvc.hpp"
-#include "solve/validate.hpp"
 
 int main(int argc, char** argv) {
   using namespace lmds;
@@ -29,30 +25,32 @@ int main(int argc, char** argv) {
   std::printf("backbone: %s, K_{2,%d}-minor-free (%d sites, %d relays/link)\n\n",
               g.summary().c_str(), t, links + 1, parallel);
 
-  const auto exact = solve::exact_mvc(g);
-  std::printf("exact MVC: %zu probes\n\n", exact.size());
+  const auto& registry = api::Registry::instance();
 
+  api::Request req;
+  req.graph = &g;
+  const api::Response exact = registry.run("exact-mvc", req);
+  std::printf("exact MVC: %zu probes\n\n", exact.solution.size());
+
+  req.measure_ratio = true;
   {
-    const auto result = core::theorem44_mvc(g);
-    const auto ratio = core::measure_mvc_ratio(g, result.solution);
+    const api::Response res = registry.run("theorem44-mvc", req);
     std::printf("Theorem 4.4 MVC (3 rounds, guarantee %d-approx):  %3zu probes  ratio %s  %s\n",
-                t, result.solution.size(), ratio.to_string().c_str(),
-                solve::is_vertex_cover(g, result.solution) ? "valid" : "INVALID");
+                t, res.solution.size(), res.ratio.to_string().c_str(),
+                res.valid ? "valid" : "INVALID");
   }
   {
-    core::Algorithm1Config cfg;
-    cfg.t = t;
-    cfg.radius1 = 4;
-    cfg.radius2 = 4;
-    const auto result = core::algorithm1_mvc(g, cfg);
-    const auto ratio = core::measure_mvc_ratio(g, result.vertex_cover);
+    req.options["t"] = t;
+    req.options["radius1"] = 4;
+    req.options["radius2"] = 4;
+    const api::Response res = registry.run("algorithm1-mvc", req);
     std::printf("Algorithm 1 MVC (%2d rounds, O(1)-approx):         %3zu probes  ratio %s  %s\n",
-                result.diag.rounds, result.vertex_cover.size(), ratio.to_string().c_str(),
-                solve::is_vertex_cover(g, result.vertex_cover) ? "valid" : "INVALID");
+                res.diag.rounds, res.solution.size(), res.ratio.to_string().c_str(),
+                res.valid ? "valid" : "INVALID");
     std::printf("  breakdown: %zu local 1-cut vertices, %zu local 2-cut vertices, "
                 "%zu brute-forced\n",
-                result.diag.one_cuts.size(), result.diag.two_cut_vertices.size(),
-                result.diag.brute_forced.size());
+                res.diag.one_cuts.size(), res.diag.two_cut_vertices.size(),
+                res.diag.brute_forced.size());
   }
 
   std::printf("\nNote the trade-off the paper's Table 1 row pair captures: the 3-round rule\n"

@@ -23,6 +23,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/registry.hpp"
@@ -44,7 +45,7 @@ int usage() {
     std::string params;
     for (const auto& p : spec->params) {
       params += params.empty() ? "  [" : ", ";
-      params += p.name + "=" + std::to_string(p.default_value);
+      params += p.name + "=" + p.default_value.to_string();
     }
     if (!params.empty()) params += "]";
     const std::string_view problem = to_string(spec->problem);
@@ -80,23 +81,41 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
-      // Generic --<param> N: any name the solver's spec declares works
-      // (validated by the registry); --r1/--r2 stay as short aliases.
-      // A non-numeric value ("--t --quiet", "--t graph.txt") is a usage
-      // error, not a silent 0.
+      // Generic --<param> V: any name the solver's spec declares works
+      // (validated by the registry); --r1/--r2 stay as short aliases. The
+      // value is parsed per the declared ParamValue type — int, bool
+      // (0/1/true/false) or double; undeclared names parse as int and let
+      // the registry reject them. A malformed value ("--t --quiet",
+      // "--t graph.txt") is a usage error, not a silent 0.
       std::string name = arg.substr(2);
       if (name == "r1") name = "radius1";
       if (name == "r2") name = "radius2";
       const char* raw = argv[++i];
+      auto declared = lmds::api::ParamValue::Type::Int;
+      for (const auto& p : spec->params) {
+        if (p.name == name) declared = p.type();
+      }
       errno = 0;
       char* end = nullptr;
-      const long value = std::strtol(raw, &end, 10);
-      if (end == raw || *end != '\0' || errno == ERANGE || value < INT_MIN ||
-          value > INT_MAX) {
+      bool ok = false;
+      if (declared == lmds::api::ParamValue::Type::Double) {
+        const double value = std::strtod(raw, &end);
+        ok = end != raw && *end == '\0' && errno != ERANGE;
+        if (ok) req.options[name] = value;
+      } else if (declared == lmds::api::ParamValue::Type::Bool &&
+                 (std::string_view(raw) == "true" || std::string_view(raw) == "false")) {
+        req.options[name] = std::string_view(raw) == "true";
+        ok = true;
+      } else {
+        const long value = std::strtol(raw, &end, 10);
+        ok = end != raw && *end == '\0' && errno != ERANGE && value >= INT_MIN &&
+             value <= INT_MAX;
+        if (ok) req.options[name] = static_cast<int>(value);
+      }
+      if (!ok) {
         std::fprintf(stderr, "mds_cli: invalid value '%s' for %s\n", raw, arg.c_str());
         return usage();
       }
-      req.options[name] = static_cast<int>(value);
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {

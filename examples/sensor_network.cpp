@@ -7,22 +7,20 @@
 //
 // The deployment is a cactus of fans/strips/theta bundles (a certified
 // K_{2,6}-minor-free topology: chains of relays with parallel redundant
-// links, cluster fans around gateways). We run the paper's algorithms
-// through the LOCAL-model simulator and report rounds, messages and the
-// fraction of nodes kept awake.
+// links, cluster fans around gateways). Every election runs through the
+// api::Registry surface: measure_traffic routes the distributed algorithms
+// through the LOCAL-model message-passing simulator, measure_ratio scores
+// them against the exact optimum; the centralized greedy reference is just
+// another registry solver.
 //
 //   $ ./sensor_network [seed]
 
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 
-#include "core/algorithm1.hpp"
-#include "core/metrics.hpp"
-#include "core/theorem44.hpp"
+#include "api/registry.hpp"
 #include "ding/generators.hpp"
-#include "local/simulator.hpp"
-#include "solve/greedy.hpp"
-#include "solve/validate.hpp"
 
 int main(int argc, char** argv) {
   using namespace lmds;
@@ -37,39 +35,35 @@ int main(int argc, char** argv) {
   std::printf("sensor deployment: %s (certified K_{2,%d}-minor-free), seed %llu\n\n",
               g.summary().c_str(), topology.t, static_cast<unsigned long long>(seed));
 
-  const auto report = [&](const char* name, const std::vector<graph::Vertex>& coordinators,
-                          int rounds, std::uint64_t messages) {
-    const auto ratio = core::measure_mds_ratio(g, coordinators);
-    const double awake = 100.0 * static_cast<double>(coordinators.size()) / g.num_vertices();
+  const auto report = [&](const char* name, const api::Response& res) {
+    const double awake = 100.0 * static_cast<double>(res.solution.size()) / g.num_vertices();
+    const int rounds = res.diag.traffic_measured ? res.diag.traffic.rounds : -1;
     std::printf("%-28s %4zu awake (%5.1f%%)  ratio %-16s rounds %3d  msgs %8llu  %s\n", name,
-                coordinators.size(), awake, ratio.to_string().c_str(), rounds,
-                static_cast<unsigned long long>(messages),
-                solve::is_dominating_set(g, coordinators) ? "valid" : "INVALID");
+                res.solution.size(), awake, res.ratio.to_string().c_str(), rounds,
+                static_cast<unsigned long long>(res.diag.traffic.messages),
+                res.valid ? "valid" : "INVALID");
   };
 
-  // Distributed executions through the message-passing simulator with random
-  // 48-bit node identifiers, as in the model.
-  const local::Network net = local::Network::with_random_ids(g, rng);
+  const auto& registry = api::Registry::instance();
+  {
+    api::Request req;
+    req.graph = &g;
+    req.measure_traffic = true;  // distributed execution via the simulator
+    req.measure_ratio = true;
+    report("Theorem 4.4 (3-round rule)", registry.run("theorem44", req));
 
-  {
-    const auto result = core::theorem44_mds_local(net);
-    report("Theorem 4.4 (3-round rule)", result.solution, result.traffic.rounds,
-           result.traffic.messages);
-  }
-  {
-    core::Algorithm1Config cfg;
-    cfg.t = topology.t;
-    cfg.radius1 = 4;
-    cfg.radius2 = 4;
-    const auto result = core::algorithm1_local(net, cfg);
-    report("Algorithm 1 (Theorem 4.1)", result.dominating_set, result.diag.rounds,
-           result.diag.traffic.messages);
+    req.options["t"] = topology.t;
+    req.options["radius1"] = 4;
+    req.options["radius2"] = 4;
+    report("Algorithm 1 (Theorem 4.1)", registry.run("algorithm1", req));
   }
   {
     // Centralized greedy — what a base station could do with a full map;
     // the quality target the distributed algorithms chase.
-    const auto greedy = solve::greedy_mds(g);
-    report("centralized greedy", greedy, -1, 0);
+    api::Request req;
+    req.graph = &g;
+    req.measure_ratio = true;
+    report("centralized greedy", registry.run("greedy", req));
   }
   std::printf(
       "\nrounds = synchronous LOCAL rounds (a -1 marks centralized references);\n"

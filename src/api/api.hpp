@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -44,11 +45,49 @@ struct RequestError : std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
-/// One named integer parameter a solver accepts, with its default.
+/// A typed solver parameter value: int, bool or double. Implicit construction
+/// keeps `options["t"] = 5` working; the declared type lives in the ParamSpec
+/// default, and Registry::resolve_options coerces request values to it
+/// (int -> bool, int -> double) or throws RequestError on a real mismatch.
+class ParamValue {
+ public:
+  enum class Type { Int, Bool, Double };
+
+  ParamValue() = default;
+  ParamValue(int v) : v_(v) {}     // NOLINT(google-explicit-constructor)
+  ParamValue(bool v) : v_(v) {}    // NOLINT(google-explicit-constructor)
+  ParamValue(double v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  ParamValue(const void*) = delete;  // otherwise a char* would select bool
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+
+  /// Strict accessors: as_int demands an Int (so a double knob can never be
+  /// silently truncated); as_bool additionally accepts an Int as 0/false,
+  /// nonzero/true; as_double additionally promotes an Int. Violations throw
+  /// std::invalid_argument.
+  int as_int() const;
+  bool as_bool() const;
+  double as_double() const;
+
+  /// "5", "true", "0.25" — used by generated usage text and cache keys.
+  std::string to_string() const;
+
+  friend bool operator==(const ParamValue&, const ParamValue&) = default;
+
+ private:
+  std::variant<int, bool, double> v_;  // index order must match Type
+};
+
+std::string_view to_string(ParamValue::Type t);
+
+/// One named typed parameter a solver accepts. The default's type *is* the
+/// parameter's declared type.
 struct ParamSpec {
   std::string name;
-  int default_value = 0;
+  ParamValue default_value = 0;
   std::string description;
+
+  ParamValue::Type type() const { return default_value.type(); }
 };
 
 /// Static description of a registered solver.
@@ -62,12 +101,13 @@ struct SolverSpec {
   bool supports(Mode m) const;
   /// Default of a declared parameter; throws std::invalid_argument if the
   /// spec does not declare `param`.
-  int param_default(std::string_view param) const;
+  ParamValue param_default(std::string_view param) const;
 };
 
-/// Named integer options; anything unset falls back to the SolverSpec
-/// default. Transparent comparator so lookups take string_view.
-using Options = std::map<std::string, int, std::less<>>;
+/// Named typed options; anything unset falls back to the SolverSpec
+/// default. Transparent comparator so lookups take string_view. Sorted, so
+/// iterating yields a canonical order (the response-cache key relies on it).
+using Options = std::map<std::string, ParamValue, std::less<>>;
 
 /// One solve request. The graph is borrowed, not owned — it must outlive the
 /// run() call (batch entry points take spans of graphs instead).
@@ -98,6 +138,8 @@ struct Diagnostics {
   std::vector<Vertex> brute_forced;      ///< step-3 additions
   int residual_components = 0;
   int max_residual_diameter = 0;
+
+  friend bool operator==(const Diagnostics&, const Diagnostics&) = default;
 };
 
 /// One solve response. `solution` is sorted in input-graph indices; `valid`
@@ -110,6 +152,11 @@ struct Response {
   core::RatioReport ratio;      ///< meaningful iff ratio_measured
   bool ratio_measured = false;
   Diagnostics diag;
+
+  /// Field-wise equality — the batch executor's determinism guarantee
+  /// ("threads=8 equals threads=1" and "cache hit equals fresh run") is
+  /// asserted with this operator in tests/test_batch.cpp.
+  friend bool operator==(const Response&, const Response&) = default;
 };
 
 }  // namespace lmds::api

@@ -16,7 +16,7 @@ namespace lmds::api {
 
 namespace {
 
-int param(const SolveContext& ctx, std::string_view name) {
+const ParamValue& param(const SolveContext& ctx, std::string_view name) {
   const auto it = ctx.params.find(name);
   if (it == ctx.params.end()) {
     // The registry resolves every *declared* parameter; reaching here means
@@ -28,11 +28,11 @@ int param(const SolveContext& ctx, std::string_view name) {
 
 core::Algorithm1Config algorithm1_config(const SolveContext& ctx) {
   core::Algorithm1Config cfg;
-  cfg.t = param(ctx, "t");
-  cfg.radius1 = param(ctx, "radius1");
-  cfg.radius2 = param(ctx, "radius2");
+  cfg.t = param(ctx, "t").as_int();
+  cfg.radius1 = param(ctx, "radius1").as_int();
+  cfg.radius2 = param(ctx, "radius2").as_int();
   if (ctx.params.contains("twin_removal")) {
-    cfg.twin_removal = param(ctx, "twin_removal") != 0;
+    cfg.twin_removal = param(ctx, "twin_removal").as_bool();
   }
   return cfg;
 }
@@ -103,7 +103,7 @@ void register_builtin_solvers(Registry& reg) {
        .summary = "Algorithm 1 (Thm 4.1): O_t(1)-round constant-approx MDS via local cuts",
        .params = [] {
          auto p = algorithm1_params();
-         p.push_back({"twin_removal", 1, "paper step 1 ablation switch (0 disables)"});
+         p.push_back({"twin_removal", true, "paper step 1 ablation switch (false disables)"});
          return p;
        }()},
       [](const SolveContext& ctx) {
@@ -182,7 +182,7 @@ void register_builtin_solvers(Registry& reg) {
            .summary = "KSV-style bounded-expansion rule [18]: gamma(v) > k joins, greedy fixup",
            .params = {{"k", 3, "domination threshold (k = 2*grad+1 in [18])"}}},
           [](const SolveContext& ctx) {
-            return plain(core::ksv_style(ctx.graph, param(ctx, "k")), 4);
+            return plain(core::ksv_style(ctx.graph, param(ctx, "k").as_int()), 4);
           });
 
   reg.add({.name = "take-all",

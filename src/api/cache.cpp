@@ -1,0 +1,78 @@
+#include "api/cache.hpp"
+
+#include "graph/hash.hpp"
+
+namespace lmds::api {
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  std::uint64_t h = key.graph_hash;
+  for (const char c : key.solver) h = graph::mix64(h ^ static_cast<unsigned char>(c));
+  for (const char c : key.options) h = graph::mix64(h ^ static_cast<unsigned char>(c));
+  return static_cast<std::size_t>(h);
+}
+
+std::string canonical_options(const Options& params, bool measure_traffic,
+                              bool measure_ratio) {
+  std::string out;
+  for (const auto& [name, value] : params) {  // std::map: sorted, canonical
+    out += name;
+    out += '=';
+    out += value.to_string();
+    out += ';';
+  }
+  out += "|traffic=";
+  out += measure_traffic ? '1' : '0';
+  out += ";ratio=";
+  out += measure_ratio ? '1' : '0';
+  return out;
+}
+
+ResponseCache::ResponseCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<Response> ResponseCache::lookup(const CacheKey& key) {
+  if (!enabled()) return std::nullopt;
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  ++hits_;
+  return it->second->second;
+}
+
+bool ResponseCache::insert(const CacheKey& key, const Response& value) {
+  if (!enabled()) return false;
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent workers may compute the same entry; keep the first, just
+    // refresh recency — the Responses are identical by determinism.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;
+  }
+  bool evicted = false;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    evicted = true;
+  }
+  lru_.emplace_front(key, value);
+  index_[key] = lru_.begin();
+  return evicted;
+}
+
+CacheStats ResponseCache::stats() const {
+  std::lock_guard lock(mu_);
+  return {hits_, misses_, evictions_, lru_.size(), capacity_};
+}
+
+void ResponseCache::clear() {
+  std::lock_guard lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace lmds::api

@@ -1,0 +1,99 @@
+#pragma once
+// Thread-safe LRU response cache for the batch executor (and any long-lived
+// serving front-end built on it). A cached Response is keyed on
+//
+//   (graph_hash(G), solver name, canonicalized options)
+//
+// where "canonicalized options" is the *resolved* parameter map — every
+// declared parameter present, request values coerced to their declared types
+// — plus the measure_traffic / measure_ratio flags, serialized in sorted
+// order. Canonicalization means a request that spells out a default and one
+// that omits it share a cache line.
+//
+// Identity is decided by the 64-bit graph fingerprint, not the graph itself:
+// two distinct graphs colliding on all 64 bits would alias (probability
+// ~2^-40 across a million distinct graphs). The serving layer accepts that
+// trade by design — the cache stores no graph copies and key comparison is
+// O(|options string|).
+//
+// Hits return a copy of the stored Response, bit-identical to the Response
+// the original run produced (asserted in tests/test_batch.cpp).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "api/api.hpp"
+
+namespace lmds::api {
+
+/// Composite cache key; see file comment for the composition rules.
+struct CacheKey {
+  std::uint64_t graph_hash = 0;
+  std::string solver;
+  std::string options;  ///< canonical_options() of the resolved request
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const;
+};
+
+/// Serializes resolved params + request flags into the canonical key string,
+/// e.g. "radius1=4;radius2=4;t=5;twin_removal=true;|traffic=0;ratio=1".
+/// `params` must already be resolved (Registry::resolve_options).
+std::string canonical_options(const Options& params, bool measure_traffic,
+                              bool measure_ratio);
+
+/// Cumulative counters; surfaced per batch through BatchDiagnostics and for
+/// the cache's lifetime through ResponseCache::stats().
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;      ///< entries currently held
+  std::size_t capacity = 0;  ///< maximum entries (0 = caching disabled)
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+/// Fixed-capacity LRU map CacheKey -> Response. All operations take an
+/// internal mutex, so one cache may back concurrent run_batch calls.
+class ResponseCache {
+ public:
+  /// capacity == 0 constructs a disabled cache: lookups miss without
+  /// counting, inserts are dropped.
+  explicit ResponseCache(std::size_t capacity);
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Returns a copy of the cached Response and promotes the entry to
+  /// most-recently-used; std::nullopt on miss. Counts one hit or miss.
+  std::optional<Response> lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+  /// when at capacity. Returns true iff an entry was evicted.
+  bool insert(const CacheKey& key, const Response& value);
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  using LruList = std::list<std::pair<CacheKey, Response>>;  // front = MRU
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace lmds::api

@@ -1,0 +1,141 @@
+#include "api/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "api/registry.hpp"
+#include "graph/hash.hpp"
+
+namespace lmds::api {
+
+BatchExecutor::BatchExecutor(BatchOptions opts) : BatchExecutor(opts, Registry::instance()) {}
+
+BatchExecutor::BatchExecutor(BatchOptions opts, const Registry& registry)
+    : opts_(opts), registry_(registry), cache_(opts.cache_capacity) {
+  if (opts_.shard_size <= 0) {
+    throw std::invalid_argument("BatchOptions::shard_size must be positive");
+  }
+}
+
+std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
+                                               std::span<const Graph> graphs,
+                                               const Request& req, BatchDiagnostics* diag) {
+  // Validate once, up front: a malformed request throws here, on the calling
+  // thread, before any worker spawns or cache entry is touched. Workers then
+  // take the trusted run_resolved path — one name lookup per graph, no
+  // per-graph re-validation or options rebuild.
+  const Options resolved = registry_.resolve_options(solver, req);
+
+  const std::size_t count = graphs.size();
+  const std::size_t shard_size = static_cast<std::size_t>(opts_.shard_size);
+  const int shards = static_cast<int>((count + shard_size - 1) / shard_size);
+
+  int workers = opts_.threads;
+  if (workers <= 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::max(1, std::min(workers, shards));
+
+  std::vector<Response> out(count);
+  // Per-batch counters: concurrent run_batch calls share the cache, so the
+  // per-batch numbers must be counted at the access sites, not diffed from
+  // the cache's global stats.
+  std::uint64_t stolen_total = 0;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  if (count > 0) {
+    const std::string options_key =
+        cache_.enabled() ? canonical_options(resolved, req.measure_traffic, req.measure_ratio)
+                         : std::string();
+
+    // The shard queue: shards dealt round-robin onto one queue per worker,
+    // each queue drained through an atomic cursor. Any worker may pop from
+    // any queue, so "stealing" is just advancing a sibling's cursor — no
+    // locks, and a shard is claimed exactly once.
+    std::vector<std::vector<int>> queues(static_cast<std::size_t>(workers));
+    for (int s = 0; s < shards; ++s) {
+      queues[static_cast<std::size_t>(s % workers)].push_back(s);
+    }
+    std::vector<std::atomic<std::size_t>> cursors(static_cast<std::size_t>(workers));
+    std::atomic<std::uint64_t> stolen{0};
+
+    // First failure (lowest graph index among the shards that actually ran)
+    // wins; the flag makes every worker abandon unclaimed shards.
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::size_t error_index = count;
+
+    auto run_one = [&](std::size_t i) {
+      const Graph& g = graphs[i];
+      CacheKey key;
+      if (cache_.enabled()) {
+        key = CacheKey{graph::graph_hash(g), std::string(solver), options_key};
+        if (std::optional<Response> hit = cache_.lookup(key)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          out[i] = *std::move(hit);
+          return;
+        }
+        misses.fetch_add(1, std::memory_order_relaxed);
+      }
+      out[i] = registry_.run_resolved(solver, g, resolved, req.measure_traffic,
+                                      req.measure_ratio);
+      if (cache_.enabled() && cache_.insert(key, out[i])) {
+        evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+
+    auto worker = [&](int w) {
+      for (int offset = 0; offset < workers; ++offset) {
+        const auto q = static_cast<std::size_t>((w + offset) % workers);
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t pos = cursors[q].fetch_add(1, std::memory_order_relaxed);
+          if (pos >= queues[q].size()) break;
+          if (offset != 0) stolen.fetch_add(1, std::memory_order_relaxed);
+          const auto shard = static_cast<std::size_t>(queues[q][pos]);
+          const std::size_t begin = shard * shard_size;
+          const std::size_t end = std::min(begin + shard_size, count);
+          for (std::size_t i = begin; i != end; ++i) {
+            try {
+              run_one(i);
+            } catch (...) {
+              std::lock_guard lock(error_mu);
+              if (!first_error || i < error_index) {
+                first_error = std::current_exception();
+                error_index = i;
+              }
+              failed.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
+        }
+      }
+    };
+
+    // Fixed-size pool: workers 1..n-1 on their own threads, worker 0 on the
+    // calling thread — a threads=1 batch never spawns, and a saturated
+    // process still makes progress on the caller.
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w) pool.emplace_back(worker, w);
+    worker(0);
+    for (std::thread& t : pool) t.join();
+
+    if (first_error) std::rethrow_exception(first_error);
+    stolen_total = stolen.load();
+  }
+
+  if (diag) {
+    diag->threads = workers;
+    diag->shards = shards;
+    diag->stolen_shards = stolen_total;
+    diag->cache_hits = hits.load();
+    diag->cache_misses = misses.load();
+    diag->cache_evictions = evictions.load();
+  }
+  return out;
+}
+
+}  // namespace lmds::api

@@ -1,0 +1,89 @@
+#pragma once
+// Thread-parallel, sharded batch execution over the solver registry — the
+// serving engine the ROADMAP's run_batch seam promised. The LOCAL model of
+// the paper is inherently parallel (every vertex decides from its r-ball);
+// the systems analogue at the serving layer is parallelism *across graphs*:
+// a batch is cut into shards, shards are dealt round-robin onto per-worker
+// queues, and a fixed-size pool of workers drains its own queue first, then
+// steals from its sibling queues in cyclic order.
+//
+// Guarantees:
+//  * Deterministic results — response i answers graphs[i] and is written to
+//    a preallocated slot, so the Response vector is identical for any thread
+//    count (every solver in the registry is deterministic; asserted over the
+//    generator suite in tests/test_batch.cpp).
+//  * Fail fast — a solver exception makes every worker abandon its
+//    unclaimed shards; after the pool drains, the exception with the lowest
+//    graph index among those attempted is rethrown.
+//  * Reentrancy — one BatchExecutor may serve concurrent run_batch calls
+//    from many threads; the shared state is the ResponseCache (mutexed) and
+//    per-call locals.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "api/api.hpp"
+#include "api/cache.hpp"
+
+namespace lmds::api {
+
+class Registry;
+
+/// Tuning knobs of one batch execution.
+struct BatchOptions {
+  /// Worker parallelism. 1 runs inline on the calling thread; <= 0 picks
+  /// std::thread::hardware_concurrency(). The effective count is clamped to
+  /// the number of shards.
+  int threads = 1;
+  /// Graphs per shard — the work-queue granularity. Small shards balance
+  /// better, large shards amortize queue traffic; <= 0 is an error.
+  int shard_size = 4;
+  /// LRU response-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 0;
+};
+
+/// What one run_batch call did — the executor-level Diagnostics. Cache
+/// counters are counted at this batch's own cache accesses (exact even with
+/// concurrent run_batch calls on one executor); lifetime totals are
+/// BatchExecutor::cache_stats().
+struct BatchDiagnostics {
+  int threads = 1;           ///< workers actually used
+  int shards = 0;            ///< shards the batch was cut into
+  std::uint64_t stolen_shards = 0;  ///< shards drained from a sibling's queue
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
+/// Sharded parallel batch runner with a response cache that persists across
+/// run_batch calls (a Registry-level convenience overload exists for one-shot
+/// batches; hold a BatchExecutor to get cross-batch cache hits).
+class BatchExecutor {
+ public:
+  /// Runs against Registry::instance().
+  explicit BatchExecutor(BatchOptions opts = {});
+  /// Runs against a specific registry (tests use local registries).
+  BatchExecutor(BatchOptions opts, const Registry& registry);
+
+  /// Executes one request shape across many graphs (req.graph is ignored);
+  /// response i answers graphs[i]. Request validation (unknown solver,
+  /// undeclared or type-mismatched option, traffic on a centralized-only
+  /// solver) throws RequestError before any work starts. If `diag` is
+  /// non-null it receives this batch's executor diagnostics.
+  std::vector<Response> run_batch(std::string_view solver, std::span<const Graph> graphs,
+                                  const Request& req, BatchDiagnostics* diag = nullptr);
+
+  const BatchOptions& options() const { return opts_; }
+  /// Lifetime counters of the executor's cache.
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  BatchOptions opts_;
+  const Registry& registry_;
+  ResponseCache cache_;
+};
+
+}  // namespace lmds::api

@@ -1,6 +1,7 @@
 #include "api/registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "solve/validate.hpp"
 
@@ -12,11 +13,54 @@ std::string_view to_string(Mode m) {
   return m == Mode::Centralized ? "centralized" : "local";
 }
 
+std::string_view to_string(ParamValue::Type t) {
+  switch (t) {
+    case ParamValue::Type::Int: return "int";
+    case ParamValue::Type::Bool: return "bool";
+    case ParamValue::Type::Double: return "double";
+  }
+  return "?";
+}
+
+int ParamValue::as_int() const {
+  if (type() != Type::Int) {
+    throw std::invalid_argument("ParamValue " + to_string() + " is not an int");
+  }
+  return std::get<int>(v_);
+}
+
+bool ParamValue::as_bool() const {
+  if (type() == Type::Bool) return std::get<bool>(v_);
+  if (type() == Type::Int) return std::get<int>(v_) != 0;
+  throw std::invalid_argument("ParamValue " + to_string() + " is not a bool");
+}
+
+double ParamValue::as_double() const {
+  if (type() == Type::Double) return std::get<double>(v_);
+  if (type() == Type::Int) return std::get<int>(v_);
+  throw std::invalid_argument("ParamValue " + to_string() + " is not a double");
+}
+
+std::string ParamValue::to_string() const {
+  switch (type()) {
+    case Type::Int: return std::to_string(std::get<int>(v_));
+    case Type::Bool: return std::get<bool>(v_) ? "true" : "false";
+    case Type::Double: {
+      // %.17g round-trips every double, so distinct values never alias in
+      // the canonical cache key.
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", std::get<double>(v_));
+      return buf;
+    }
+  }
+  return {};
+}
+
 bool SolverSpec::supports(Mode m) const {
   return std::find(modes.begin(), modes.end(), m) != modes.end();
 }
 
-int SolverSpec::param_default(std::string_view param) const {
+ParamValue SolverSpec::param_default(std::string_view param) const {
   for (const ParamSpec& p : params) {
     if (p.name == param) return p.default_value;
   }
@@ -83,13 +127,24 @@ std::vector<const SolverSpec*> Registry::specs() const {
   return out;
 }
 
-Response Registry::run(std::string_view name, const Request& req) const {
-  const Entry* entry = find_entry(name);
-  if (!entry) throw RequestError("unknown solver '" + std::string(name) + "'");
-  const SolverSpec& spec = entry->spec;
-  if (!req.graph) {
-    throw RequestError("solver '" + spec.name + "': request has no graph");
+namespace {
+
+// Coerces a request-supplied value to the declared type of `p`: exact type
+// matches pass through, Int widens to Bool (0 = false) and Double. Anything
+// else — a double for an int knob, say — is a RequestError, not a silent
+// truncation.
+ParamValue coerce(const SolverSpec& spec, const ParamSpec& p, const ParamValue& value) {
+  if (value.type() == p.type()) return value;
+  if (value.type() == ParamValue::Type::Int) {
+    if (p.type() == ParamValue::Type::Bool) return value.as_int() != 0;
+    if (p.type() == ParamValue::Type::Double) return value.as_double();
   }
+  throw RequestError("solver '" + spec.name + "' parameter '" + p.name + "' is " +
+                     std::string(to_string(p.type())) + ", got " +
+                     std::string(to_string(value.type())) + " (" + value.to_string() + ")");
+}
+
+Options resolve_against(const SolverSpec& spec, const Request& req) {
   if (req.measure_traffic && !spec.supports(Mode::Local)) {
     throw RequestError("solver '" + spec.name +
                        "' has no Local mode; cannot measure traffic");
@@ -102,15 +157,45 @@ Response Registry::run(std::string_view name, const Request& req) const {
       throw RequestError("solver '" + spec.name + "' has no parameter '" + key + "'");
     }
   }
-
   Options params;
   for (const ParamSpec& p : spec.params) {
     const auto it = req.options.find(p.name);
-    params[p.name] = it != req.options.end() ? it->second : p.default_value;
+    params[p.name] = it != req.options.end() ? coerce(spec, p, it->second) : p.default_value;
   }
+  return params;
+}
 
-  const SolveContext ctx{*req.graph, params, req.measure_traffic};
-  SolverOutput out = entry->solve(ctx);
+}  // namespace
+
+Options Registry::resolve_options(std::string_view name, const Request& req) const {
+  const Entry* entry = find_entry(name);
+  if (!entry) throw RequestError("unknown solver '" + std::string(name) + "'");
+  return resolve_against(entry->spec, req);
+}
+
+Response Registry::run(std::string_view name, const Request& req) const {
+  const Entry* entry = find_entry(name);
+  if (!entry) throw RequestError("unknown solver '" + std::string(name) + "'");
+  if (!req.graph) {
+    throw RequestError("solver '" + entry->spec.name + "': request has no graph");
+  }
+  return run_entry(*entry, *req.graph, resolve_against(entry->spec, req),
+                   req.measure_traffic, req.measure_ratio);
+}
+
+Response Registry::run_resolved(std::string_view name, const Graph& g,
+                                const Options& resolved, bool measure_traffic,
+                                bool measure_ratio) const {
+  const Entry* entry = find_entry(name);
+  if (!entry) throw RequestError("unknown solver '" + std::string(name) + "'");
+  return run_entry(*entry, g, resolved, measure_traffic, measure_ratio);
+}
+
+Response Registry::run_entry(const Entry& entry, const Graph& g, const Options& params,
+                             bool measure_traffic, bool measure_ratio) const {
+  const SolverSpec& spec = entry.spec;
+  const SolveContext ctx{g, params, measure_traffic};
+  SolverOutput out = entry.solve(ctx);
 
   Response res;
   res.solver = spec.name;
@@ -118,13 +203,11 @@ Response Registry::run(std::string_view name, const Request& req) const {
   res.solution = std::move(out.solution);
   std::sort(res.solution.begin(), res.solution.end());
   res.diag = std::move(out.diag);
-  res.valid = spec.problem == Problem::Mds
-                  ? solve::is_dominating_set(*req.graph, res.solution)
-                  : solve::is_vertex_cover(*req.graph, res.solution);
-  if (req.measure_ratio) {
-    res.ratio = spec.problem == Problem::Mds
-                    ? core::measure_mds_ratio(*req.graph, res.solution)
-                    : core::measure_mvc_ratio(*req.graph, res.solution);
+  res.valid = spec.problem == Problem::Mds ? solve::is_dominating_set(g, res.solution)
+                                           : solve::is_vertex_cover(g, res.solution);
+  if (measure_ratio) {
+    res.ratio = spec.problem == Problem::Mds ? core::measure_mds_ratio(g, res.solution)
+                                             : core::measure_mvc_ratio(g, res.solution);
     res.ratio_measured = true;
   }
   return res;
@@ -141,6 +224,14 @@ std::vector<Response> Registry::run_batch(std::string_view name,
     out.push_back(run(name, one));
   }
   return out;
+}
+
+std::vector<Response> Registry::run_batch(std::string_view name,
+                                          std::span<const Graph> graphs, const Request& req,
+                                          const BatchOptions& opts,
+                                          BatchDiagnostics* diag) const {
+  BatchExecutor executor(opts, *this);
+  return executor.run_batch(name, graphs, req, diag);
 }
 
 }  // namespace lmds::api

@@ -11,8 +11,9 @@
 //   api::Response res = reg.run("algorithm1", req);
 //
 // run_batch() executes one request shape across many graphs — the serving /
-// batching seam of the ROADMAP (a later PR shards this across threads or
-// backends without touching any call site).
+// batching seam of the ROADMAP. The BatchOptions overload shards the batch
+// across a worker pool with response caching (see executor.hpp); hold a
+// BatchExecutor instead when cache hits should survive across batches.
 
 #include <functional>
 #include <span>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "api/executor.hpp"
 
 namespace lmds::api {
 
@@ -71,10 +73,35 @@ class Registry {
   /// always checked; ratio measured iff requested.
   Response run(std::string_view name, const Request& req) const;
 
+  /// Hot-path variant for batch execution: `resolved` must be a map
+  /// resolve_options() returned for this solver (every declared parameter
+  /// present with its declared type) — it is trusted, not re-validated, so
+  /// per-graph cost is one name lookup plus the solve itself.
+  Response run_resolved(std::string_view name, const Graph& g, const Options& resolved,
+                        bool measure_traffic, bool measure_ratio) const;
+
+  /// Validates `req` against `name`'s spec and returns the fully-resolved
+  /// parameter map: every declared parameter present (request value or spec
+  /// default) and coerced to its declared type — Int is accepted for a Bool
+  /// parameter (0 = false) and promoted for a Double one; any other mismatch
+  /// throws. Throws RequestError exactly where run() would: unknown solver,
+  /// undeclared option, type mismatch, measure_traffic without a Local mode.
+  Options resolve_options(std::string_view name, const Request& req) const;
+
   /// Runs the same request shape across many graphs (req.graph is ignored);
-  /// response i answers graphs[i]. The batching seam for the serving layer.
+  /// response i answers graphs[i]. Sequential and uncached — byte-for-byte
+  /// the behaviour of calling run() in a loop.
   std::vector<Response> run_batch(std::string_view name, std::span<const Graph> graphs,
                                   const Request& req) const;
+
+  /// Sharded parallel variant: executes through a transient BatchExecutor
+  /// with `opts` (worker pool + work-stealing shard queue + LRU response
+  /// cache). Responses are identical to the sequential overload for every
+  /// thread count. The cache lives only for this call; `diag`, when
+  /// non-null, receives the executor's per-batch diagnostics.
+  std::vector<Response> run_batch(std::string_view name, std::span<const Graph> graphs,
+                                  const Request& req, const BatchOptions& opts,
+                                  BatchDiagnostics* diag = nullptr) const;
 
  private:
   struct Entry {
@@ -84,6 +111,8 @@ class Registry {
   std::vector<Entry> entries_;  // sorted by spec.name
 
   const Entry* find_entry(std::string_view name) const;
+  Response run_entry(const Entry& entry, const Graph& g, const Options& params,
+                     bool measure_traffic, bool measure_ratio) const;
 };
 
 }  // namespace lmds::api

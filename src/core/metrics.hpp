@@ -23,6 +23,8 @@ struct RatioReport {
 
   /// e.g. "51/17 = 3.00" or ">= 2.43 (vs lower bound)".
   std::string to_string() const;
+
+  friend bool operator==(const RatioReport&, const RatioReport&) = default;
 };
 
 /// Measures |solution| / MDS(G). Tries the exact solver (tree DP for

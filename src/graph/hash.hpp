@@ -1,0 +1,32 @@
+#pragma once
+// 64-bit structural graph fingerprint. Hashes the exact CSR representation
+// (vertex count, degrees, sorted adjacency), so two Graph objects hash equal
+// iff they are equal under operator== — same labelling, same edges. It is
+// NOT an isomorphism invariant: relabelling a graph changes its hash.
+//
+// Primary consumer: the api response cache, which keys cached Responses on
+// (graph_hash, solver, canonicalized options). A 64-bit fingerprint makes
+// the cache key cheap to store and compare; the collision probability across
+// a cache of millions of distinct graphs is ~2^-40, which the serving layer
+// accepts by design (see src/api/cache.hpp).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace lmds::graph {
+
+/// Fingerprint of the graph's exact structure (splitmix64-mixed stream over
+/// n and every adjacency list). Deterministic across runs and platforms.
+std::uint64_t graph_hash(const Graph& g);
+
+/// One splitmix64 avalanche step — exposed so cache-key composition can
+/// reuse the same mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace lmds::graph

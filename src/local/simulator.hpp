@@ -38,6 +38,8 @@ struct TrafficStats {
     bytes += other.bytes;
     return *this;
   }
+
+  friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
 };
 
 /// A network: a topology plus the identifier assignment. Vertices are the

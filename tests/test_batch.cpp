@@ -1,0 +1,443 @@
+// Tests for the batch-serving layer: graph_hash fingerprints, the LRU
+// response cache (hit identity, eviction, counters), the sharded parallel
+// executor (determinism across thread counts, work stealing, error
+// propagation, concurrent callers) and the typed ParamValue widening of
+// SolverSpec parameters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "ding/generators.hpp"
+#include "graph/generators.hpp"
+#include "graph/hash.hpp"
+
+namespace lmds::api {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+// Same families as test_api's suite, slightly larger so parallel runs have
+// real work per graph.
+std::vector<Graph> generator_suite() {
+  std::mt19937_64 rng(20250727);
+  std::vector<Graph> gs;
+  gs.push_back(graph::gen::path(12));
+  gs.push_back(graph::gen::cycle(9));
+  gs.push_back(graph::gen::star(7));
+  gs.push_back(graph::gen::grid(4, 5));
+  gs.push_back(graph::gen::spider(4, 3));
+  gs.push_back(graph::gen::theta_chain(4, 4));
+  gs.push_back(graph::gen::theta_chain(7, 3));
+  gs.push_back(graph::gen::caterpillar(8, 2));
+  gs.push_back(graph::gen::clique_with_pendants(9));
+  gs.push_back(graph::gen::random_tree(30, rng));
+  ding::CactusConfig cc;
+  cc.pieces = 6;
+  cc.t = 5;
+  gs.push_back(ding::random_cactus_of_structures(cc, rng));
+  return gs;
+}
+
+std::span<const Graph> span_of(const std::vector<Graph>& gs) {
+  return {gs.data(), gs.size()};
+}
+
+// ---------------------------------------------------------------------------
+// graph_hash
+
+TEST(GraphHash, EqualGraphsHashEqual) {
+  const Graph a = graph::gen::theta_chain(5, 3);
+  const Graph b = graph::gen::theta_chain(5, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(graph::graph_hash(a), graph::graph_hash(b));
+}
+
+TEST(GraphHash, DistinctStructuresHashDistinct) {
+  // Pairwise-distinct small graphs; a collision among these would be a bug
+  // in the mixer, not bad luck.
+  std::vector<Graph> gs = generator_suite();
+  gs.push_back(Graph());
+  gs.push_back(graph::gen::path(1));
+  std::vector<std::uint64_t> hashes;
+  for (const Graph& g : gs) hashes.push_back(graph::graph_hash(g));
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    for (std::size_t j = i + 1; j < gs.size(); ++j) {
+      if (gs[i] == gs[j]) continue;
+      EXPECT_NE(hashes[i], hashes[j]) << "collision between graphs " << i << " and " << j;
+    }
+  }
+}
+
+TEST(GraphHash, SensitiveToSingleEdge) {
+  const Graph path = graph::gen::path(10);
+  const Graph cycle = graph::gen::cycle(10);  // path + closing edge
+  EXPECT_NE(graph::graph_hash(path), graph::graph_hash(cycle));
+}
+
+// ---------------------------------------------------------------------------
+// ResponseCache unit behaviour
+
+CacheKey key_of(int tag) {
+  return CacheKey{static_cast<std::uint64_t>(tag), "solver", "opts"};
+}
+
+Response response_of(int tag) {
+  Response r;
+  r.solver = "solver";
+  r.solution = {static_cast<Vertex>(tag)};
+  r.valid = true;
+  return r;
+}
+
+TEST(ResponseCache, HitReturnsStoredResponseAndPromotes) {
+  ResponseCache cache(2);
+  cache.insert(key_of(1), response_of(1));
+  cache.insert(key_of(2), response_of(2));
+
+  const auto hit = cache.lookup(key_of(1));  // promotes 1 to MRU
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, response_of(1));
+
+  cache.insert(key_of(3), response_of(3));  // evicts LRU = 2, not 1
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3)).has_value());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResponseCache, EvictsAtCapacity) {
+  ResponseCache cache(3);
+  for (int tag = 0; tag < 10; ++tag) cache.insert(key_of(tag), response_of(tag));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 3u);
+  EXPECT_EQ(stats.evictions, 7u);
+  // The three most recently inserted survive.
+  EXPECT_TRUE(cache.lookup(key_of(9)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(8)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(7)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(6)).has_value());
+}
+
+TEST(ResponseCache, ZeroCapacityIsDisabled) {
+  ResponseCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(key_of(1), response_of(1));
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  EXPECT_EQ(cache.stats().misses, 0u);  // disabled lookups do not count
+}
+
+TEST(ResponseCache, CanonicalOptionsSpellOutResolvedParams) {
+  Options params;
+  params["t"] = 5;
+  params["twin_removal"] = true;
+  params["alpha"] = 0.25;
+  EXPECT_EQ(canonical_options(params, false, true),
+            "alpha=0.25;t=5;twin_removal=true;|traffic=0;ratio=1");
+}
+
+// ---------------------------------------------------------------------------
+// Parallel executor: determinism, caching, diagnostics
+
+TEST(BatchExecutor, ThreadCountsProduceIdenticalResponses) {
+  const auto graphs = generator_suite();
+  const auto& reg = Registry::instance();
+
+  for (const char* solver : {"algorithm1", "theorem44", "greedy"}) {
+    Request req;
+    req.measure_ratio = true;
+    const std::vector<Response> sequential = reg.run_batch(solver, span_of(graphs), req);
+
+    for (const int threads : {1, 2, 8}) {
+      BatchOptions opts;
+      opts.threads = threads;
+      opts.shard_size = 2;
+      BatchDiagnostics diag;
+      const auto parallel = reg.run_batch(solver, span_of(graphs), req, opts, &diag);
+      ASSERT_EQ(parallel.size(), graphs.size());
+      EXPECT_EQ(parallel, sequential) << solver << " diverged at threads=" << threads;
+      EXPECT_EQ(diag.shards, static_cast<int>((graphs.size() + 1) / 2));
+      EXPECT_LE(diag.threads, threads == 1 ? 1 : threads);
+    }
+  }
+}
+
+TEST(BatchExecutor, LocalModeStaysDeterministicInParallel) {
+  const auto graphs = generator_suite();
+  Request req;
+  req.measure_traffic = true;  // exercise the simulator path concurrently
+  const auto& reg = Registry::instance();
+  const auto sequential = reg.run_batch("theorem44", span_of(graphs), req);
+  BatchOptions opts;
+  opts.threads = 8;
+  opts.shard_size = 1;
+  EXPECT_EQ(reg.run_batch("theorem44", span_of(graphs), req, opts), sequential);
+}
+
+TEST(BatchExecutor, CacheHitIsBitIdentical) {
+  const auto graphs = generator_suite();
+  BatchOptions opts;
+  opts.threads = 2;
+  opts.shard_size = 2;
+  opts.cache_capacity = graphs.size();
+  BatchExecutor executor(opts);
+
+  Request req;
+  req.measure_ratio = true;
+  BatchDiagnostics cold;
+  const auto first = executor.run_batch("algorithm1", span_of(graphs), req, &cold);
+  BatchDiagnostics warm;
+  const auto second = executor.run_batch("algorithm1", span_of(graphs), req, &warm);
+
+  EXPECT_EQ(second, first);  // bit-identical Responses, field by field
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, graphs.size());
+  EXPECT_EQ(warm.cache_hits, graphs.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+}
+
+TEST(BatchExecutor, CacheKeyCanonicalizationMergesSpelledOutDefaults) {
+  const auto graphs = generator_suite();
+  BatchOptions opts;
+  opts.cache_capacity = graphs.size();
+  BatchExecutor executor(opts);
+
+  Request defaults;  // t/radius1/radius2/twin_removal all defaulted
+  (void)executor.run_batch("algorithm1", span_of(graphs), defaults);
+
+  Request spelled;  // the same values, spelled out (ints coerced to bool)
+  spelled.options["t"] = 5;
+  spelled.options["radius1"] = 4;
+  spelled.options["radius2"] = 4;
+  spelled.options["twin_removal"] = 1;
+  BatchDiagnostics diag;
+  (void)executor.run_batch("algorithm1", span_of(graphs), spelled, &diag);
+  EXPECT_EQ(diag.cache_hits, graphs.size()) << "canonicalized keys should collide";
+}
+
+TEST(BatchExecutor, DifferentOptionsDoNotShareCacheLines) {
+  const auto graphs = generator_suite();
+  BatchOptions opts;
+  opts.cache_capacity = 4 * graphs.size();
+  BatchExecutor executor(opts);
+
+  Request req;
+  (void)executor.run_batch("algorithm1", span_of(graphs), req);
+  Request other;
+  other.options["radius1"] = 2;
+  BatchDiagnostics diag;
+  (void)executor.run_batch("algorithm1", span_of(graphs), other, &diag);
+  EXPECT_EQ(diag.cache_hits, 0u);
+  // Same solver+graph but different flags must miss too.
+  Request ratio = req;
+  ratio.measure_ratio = true;
+  BatchDiagnostics flag_diag;
+  (void)executor.run_batch("algorithm1", span_of(graphs), ratio, &flag_diag);
+  EXPECT_EQ(flag_diag.cache_hits, 0u);
+}
+
+TEST(BatchExecutor, EvictionAtCapacityStillCorrect) {
+  const auto graphs = generator_suite();
+  BatchOptions opts;
+  opts.cache_capacity = 2;  // far below the batch size: constant churn
+  BatchExecutor executor(opts);
+
+  Request req;
+  const auto expected = Registry::instance().run_batch("theorem44", span_of(graphs), req);
+  for (int pass = 0; pass < 2; ++pass) {
+    EXPECT_EQ(executor.run_batch("theorem44", span_of(graphs), req), expected);
+  }
+  const CacheStats stats = executor.cache_stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(BatchExecutor, ConcurrentCallersAreSafe) {
+  const auto graphs = generator_suite();
+  BatchOptions opts;
+  opts.threads = 2;
+  opts.shard_size = 1;
+  opts.cache_capacity = 2 * graphs.size();
+  BatchExecutor executor(opts);  // one shared executor, one shared cache
+
+  Request req;
+  const auto expected = Registry::instance().run_batch("theorem44", span_of(graphs), req);
+
+  constexpr int kCallers = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        if (executor.run_batch("theorem44", span_of(graphs), req) != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const CacheStats stats = executor.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, kCallers * 3 * graphs.size());
+}
+
+TEST(BatchExecutor, SolverExceptionPropagatesAndAbortsBatch) {
+  Registry reg;
+  reg.add({.name = "boom", .problem = Problem::Mds, .summary = "throws on cycles", .params = {}},
+          [](const SolveContext& ctx) {
+            if (ctx.graph.num_edges() == ctx.graph.num_vertices()) {
+              throw std::runtime_error("boom");
+            }
+            SolverOutput out;
+            for (Vertex v = 0; v < ctx.graph.num_vertices(); ++v) out.solution.push_back(v);
+            return out;
+          });
+
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 6; ++i) graphs.push_back(graph::gen::path(4 + i));
+  graphs.push_back(graph::gen::cycle(5));  // the poisoned graph
+
+  BatchOptions opts;
+  opts.threads = 4;
+  opts.shard_size = 1;
+  BatchExecutor executor(opts, reg);
+  Request req;
+  EXPECT_THROW((void)executor.run_batch("boom", span_of(graphs), req), std::runtime_error);
+}
+
+TEST(BatchExecutor, ValidatesRequestBeforeSpawning) {
+  const auto graphs = generator_suite();
+  BatchOptions opts;
+  opts.threads = 4;
+  BatchExecutor executor(opts);
+  Request bad;
+  bad.options["radius9"] = 1;
+  EXPECT_THROW((void)executor.run_batch("algorithm1", span_of(graphs), bad), RequestError);
+  EXPECT_THROW((void)executor.run_batch("no-such", span_of(graphs), Request{}), RequestError);
+}
+
+TEST(BatchExecutor, RejectsNonPositiveShardSize) {
+  BatchOptions opts;
+  opts.shard_size = 0;
+  EXPECT_THROW(BatchExecutor{opts}, std::invalid_argument);
+}
+
+TEST(BatchExecutor, EmptyBatchReturnsEmpty) {
+  BatchOptions opts;
+  opts.threads = 4;
+  BatchExecutor executor(opts);
+  BatchDiagnostics diag;
+  const auto out = executor.run_batch("greedy", {}, Request{}, &diag);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(diag.shards, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Typed ParamValue
+
+TEST(ParamValue, TypedAccessors) {
+  const ParamValue i = 7;
+  const ParamValue b = true;
+  const ParamValue d = 0.5;
+  EXPECT_EQ(i.type(), ParamValue::Type::Int);
+  EXPECT_EQ(b.type(), ParamValue::Type::Bool);
+  EXPECT_EQ(d.type(), ParamValue::Type::Double);
+
+  EXPECT_EQ(i.as_int(), 7);
+  EXPECT_TRUE(b.as_bool());
+  EXPECT_DOUBLE_EQ(d.as_double(), 0.5);
+
+  EXPECT_TRUE(i.as_bool());             // int widens to bool
+  EXPECT_DOUBLE_EQ(i.as_double(), 7.0); // ...and to double
+  EXPECT_THROW((void)d.as_int(), std::invalid_argument);   // never truncates
+  EXPECT_THROW((void)b.as_int(), std::invalid_argument);
+  EXPECT_THROW((void)d.as_bool(), std::invalid_argument);
+  EXPECT_THROW((void)b.as_double(), std::invalid_argument);
+
+  EXPECT_EQ(i.to_string(), "7");
+  EXPECT_EQ(b.to_string(), "true");
+  EXPECT_EQ(d.to_string(), "0.5");
+  EXPECT_NE(ParamValue(1), ParamValue(true));  // typed: int 1 != bool true
+}
+
+TEST(ParamValue, RegistryCoercesAndRejectsByDeclaredType) {
+  Registry reg;
+  reg.add({.name = "typed",
+           .problem = Problem::Mds,
+           .summary = "typed parameter probe",
+           .params = {{"count", 3, "int knob"},
+                      {"enabled", true, "bool knob"},
+                      {"alpha", 0.5, "double knob"}}},
+          [](const SolveContext& ctx) {
+            SolverOutput out;
+            // Encode the received values so the test can observe them.
+            out.diag.rounds = ctx.params.find("count")->second.as_int();
+            out.diag.twin_classes = ctx.params.find("enabled")->second.as_bool() ? 1 : 0;
+            out.diag.residual_components =
+                static_cast<int>(ctx.params.find("alpha")->second.as_double() * 100);
+            for (Vertex v = 0; v < ctx.graph.num_vertices(); ++v) out.solution.push_back(v);
+            return out;
+          });
+
+  const Graph g = graph::gen::path(4);
+  Request req;
+  req.graph = &g;
+  req.options["count"] = 9;
+  req.options["enabled"] = 0;     // int -> bool coercion
+  req.options["alpha"] = 1;       // int -> double promotion
+  const Response res = reg.run("typed", req);
+  EXPECT_EQ(res.diag.rounds, 9);
+  EXPECT_EQ(res.diag.twin_classes, 0);
+  EXPECT_EQ(res.diag.residual_components, 100);
+
+  Request narrow;
+  narrow.graph = &g;
+  narrow.options["count"] = 2.5;  // double -> int would truncate: rejected
+  EXPECT_THROW((void)reg.run("typed", narrow), RequestError);
+  Request bool_for_int;
+  bool_for_int.graph = &g;
+  bool_for_int.options["count"] = true;
+  EXPECT_THROW((void)reg.run("typed", bool_for_int), RequestError);
+
+  // resolve_options exposes the canonical map the cache key is built from.
+  Request partial;
+  partial.options["enabled"] = 1;
+  const Options resolved = reg.resolve_options("typed", partial);
+  EXPECT_EQ(resolved.find("count")->second, ParamValue(3));
+  EXPECT_EQ(resolved.find("enabled")->second, ParamValue(true));
+  EXPECT_EQ(resolved.find("alpha")->second, ParamValue(0.5));
+}
+
+TEST(ParamValue, BuiltinTwinRemovalIsBoolTyped) {
+  const auto& spec = Registry::instance().at("algorithm1");
+  EXPECT_EQ(spec.param_default("twin_removal").type(), ParamValue::Type::Bool);
+  EXPECT_EQ(spec.param_default("twin_removal"), ParamValue(true));
+  EXPECT_EQ(spec.param_default("t"), ParamValue(5));
+
+  // Legacy int spelling still works through coercion.
+  const Graph g = graph::gen::clique_with_pendants(8);
+  Request off_int;
+  off_int.graph = &g;
+  off_int.options["twin_removal"] = 0;
+  Request off_bool;
+  off_bool.graph = &g;
+  off_bool.options["twin_removal"] = false;
+  const auto& reg = Registry::instance();
+  EXPECT_EQ(reg.run("algorithm1", off_int), reg.run("algorithm1", off_bool));
+}
+
+}  // namespace
+}  // namespace lmds::api
