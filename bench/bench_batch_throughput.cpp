@@ -12,6 +12,7 @@
 // a stress test. With --json the measurements land in FILE for the CI
 // artifact trail (BENCH_*.json).
 
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +50,16 @@ std::vector<Graph> workload(bool small) {
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Locale-independent fixed-point formatting for the JSON artifact: fprintf's
+// "%f" obeys LC_NUMERIC, so under e.g. de_DE it writes "0,125" and corrupts
+// BENCH_*.json; std::to_chars always emits '.'.
+std::string json_num(double v, int precision) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, precision);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
 }
 
 }  // namespace
@@ -146,15 +157,17 @@ int main(int argc, char** argv) {
                  "  \"solver\": \"%s\",\n  \"graphs\": %zu,\n  \"runs\": [",
                  small ? "small" : "full", solver, graphs.size());
     for (std::size_t i = 0; i < runs.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"threads\": %d, \"seconds\": %.6f, \"graphs_per_sec\": %.2f, "
-                      "\"speedup_vs_1\": %.3f}",
-                   i ? "," : "", runs[i].threads, runs[i].seconds, runs[i].rate,
-                   runs[i].rate / runs.front().rate);
+      std::fprintf(f, "%s\n    {\"threads\": %d, \"seconds\": %s, \"graphs_per_sec\": %s, "
+                      "\"speedup_vs_1\": %s}",
+                   i ? "," : "", runs[i].threads, json_num(runs[i].seconds, 6).c_str(),
+                   json_num(runs[i].rate, 2).c_str(),
+                   json_num(runs[i].rate / runs.front().rate, 3).c_str());
     }
     std::fprintf(f,
-                 "\n  ],\n  \"cache\": {\"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+                 "\n  ],\n  \"cache\": {\"cold_seconds\": %s, \"warm_seconds\": %s, "
                  "\"hits\": %llu, \"misses\": %llu}\n}\n",
-                 cold_secs, warm_secs, static_cast<unsigned long long>(warm.cache_hits),
+                 json_num(cold_secs, 6).c_str(), json_num(warm_secs, 6).c_str(),
+                 static_cast<unsigned long long>(warm.cache_hits),
                  static_cast<unsigned long long>(cold.cache_misses));
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

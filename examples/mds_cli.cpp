@@ -16,10 +16,7 @@
 //             2 usage error; 3 unknown algorithm;
 //             4 unreadable or unparseable input.
 
-#include <cerrno>
-#include <climits>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -83,10 +80,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       // Generic --<param> V: any name the solver's spec declares works
       // (validated by the registry); --r1/--r2 stay as short aliases. The
-      // value is parsed per the declared ParamValue type — int, bool
-      // (0/1/true/false) or double; undeclared names parse as int and let
-      // the registry reject them. A malformed value ("--t --quiet",
-      // "--t graph.txt") is a usage error, not a silent 0.
+      // value goes through api::parse_param_value against the declared
+      // ParamValue type — int, bool (0/1/true/false) or double; undeclared
+      // names parse as int and let the registry reject them. A malformed
+      // ("--t graph.txt") or out-of-range ("--t 99999999999") value is a
+      // usage error (exit 2), never a silent 0 or wrapped integer.
       std::string name = arg.substr(2);
       if (name == "r1") name = "radius1";
       if (name == "r2") name = "radius2";
@@ -95,27 +93,16 @@ int main(int argc, char** argv) {
       for (const auto& p : spec->params) {
         if (p.name == name) declared = p.type();
       }
-      errno = 0;
-      char* end = nullptr;
-      bool ok = false;
-      if (declared == lmds::api::ParamValue::Type::Double) {
-        const double value = std::strtod(raw, &end);
-        ok = end != raw && *end == '\0' && errno != ERANGE;
-        if (ok) req.options[name] = value;
-      } else if (declared == lmds::api::ParamValue::Type::Bool &&
-                 (std::string_view(raw) == "true" || std::string_view(raw) == "false")) {
-        req.options[name] = std::string_view(raw) == "true";
-        ok = true;
-      } else {
-        const long value = std::strtol(raw, &end, 10);
-        ok = end != raw && *end == '\0' && errno != ERANGE && value >= INT_MIN &&
-             value <= INT_MAX;
-        if (ok) req.options[name] = static_cast<int>(value);
+      const auto value = lmds::api::parse_param_value(raw, declared);
+      if (!value) {
+        std::fprintf(stderr,
+                     "mds_cli: invalid value '%s' for %s (expected %.*s; malformed or "
+                     "out of range)\n",
+                     raw, arg.c_str(), static_cast<int>(to_string(declared).size()),
+                     to_string(declared).data());
+        return kExitUsage;
       }
-      if (!ok) {
-        std::fprintf(stderr, "mds_cli: invalid value '%s' for %s\n", raw, arg.c_str());
-        return usage();
-      }
+      req.options[name] = *value;
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {

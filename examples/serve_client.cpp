@@ -1,0 +1,255 @@
+// serve_client — protocol driver for lmds_serve. Connects over TCP, sends
+// newline-delimited JSON requests, prints one summary line per response.
+// The --demo flow is the CI smoke test: a mixed-solver batch (three solvers
+// over the same generated graph set), a stats probe, and optional cache
+// snapshot verbs, so one client invocation exercises solve + admin paths
+// end-to-end.
+//
+//   $ ./serve_client --port 7411 --demo --save cache.lmds --shutdown
+//   $ ./serve_client --port 7411 --demo --expect-hits       # warm restart
+//
+// --expect-hits makes the run fail (exit 3) unless the demo batches hit the
+// server's response cache at least once — the assertion behind "a restarted
+// server with a snapshot answers replayed batches from cache".
+//
+// Exit codes: 0 success; 1 connection/protocol failure; 2 usage;
+//             3 --expect-hits saw zero cache hits.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "server/json.hpp"
+#include "server/net.hpp"
+
+namespace {
+
+using namespace lmds;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_client [--host H] --port P [--demo] [--expect-hits]\n"
+               "                    [--solvers] [--stats] [--save FILE] [--load FILE]\n"
+               "                    [--send JSON_LINE] [--shutdown]\n"
+               "Actions run in the order listed above; --send may repeat.\n");
+  return 2;
+}
+
+// One request/response exchange; returns the parsed response object.
+server::JsonValue exchange(int fd, server::LineReader& reader, const std::string& line) {
+  if (!server::send_all(fd, line + "\n")) {
+    throw std::runtime_error("send failed (server closed the connection?)");
+  }
+  const auto response = reader.next_line(64u << 20);
+  if (!response) throw std::runtime_error("server closed the connection mid-exchange");
+  return server::json_parse(*response);
+}
+
+void require_ok(const server::JsonValue& response, const std::string& what) {
+  const server::JsonValue* ok = response.find("ok");
+  if (ok && ok->as_bool()) return;
+  const server::JsonValue* error = response.find("error");
+  throw std::runtime_error(what + " failed: " +
+                           (error ? error->as_string() : std::string("no error field")));
+}
+
+std::string encode_graph(const graph::Graph& g) {
+  std::string out = "{\"n\":" + std::to_string(g.num_vertices()) + ",\"edges\":[";
+  bool first = true;
+  for (const auto& [u, v] : g.edges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(u) + ',' + std::to_string(v) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+// The demo workload: small instances from the paper's generator families —
+// enough variety that a mixed-solver pass touches twin removal, cuts and the
+// brute-force step, small enough to finish in milliseconds.
+std::vector<graph::Graph> demo_graphs() {
+  std::vector<graph::Graph> gs;
+  gs.push_back(graph::gen::path(12));
+  gs.push_back(graph::gen::cycle(9));
+  gs.push_back(graph::gen::grid(4, 5));
+  gs.push_back(graph::gen::theta_chain(5, 3));
+  gs.push_back(graph::gen::clique_with_pendants(9));
+  gs.push_back(graph::gen::spider(4, 3));
+  return gs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool demo = false, expect_hits = false, solvers = false, stats = false, shutdown = false;
+  std::string save_path, load_path;
+  std::vector<std::string> raw_lines;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--host" && value) {
+      host = value;
+      ++i;
+    } else if (arg == "--port" && value) {
+      const auto p = api::parse_param_value(value, api::ParamValue::Type::Int);
+      if (!p || p->as_int() < 1 || p->as_int() > 65535) {
+        std::fprintf(stderr, "serve_client: bad port '%s'\n", value);
+        return usage();
+      }
+      port = p->as_int();
+      ++i;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--expect-hits") {
+      expect_hits = true;
+    } else if (arg == "--solvers") {
+      solvers = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--save" && value) {
+      save_path = value;
+      ++i;
+    } else if (arg == "--load" && value) {
+      load_path = value;
+      ++i;
+    } else if (arg == "--send" && value) {
+      raw_lines.emplace_back(value);
+      ++i;
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else {
+      std::fprintf(stderr, "serve_client: bad flag: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "serve_client: --port is required\n");
+    return usage();
+  }
+
+  const int fd = server::tcp_connect(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "serve_client: cannot connect to %s:%d: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    return 1;
+  }
+  server::LineReader reader(fd);
+  unsigned long long total_hits = 0;
+
+  try {
+    if (solvers) {
+      const auto response = exchange(fd, reader, "{\"op\":\"solvers\"}");
+      require_ok(response, "solvers");
+      for (const auto& spec : response.find("solvers")->as_array()) {
+        std::printf("solver %-15s %s\n", spec.find("name")->as_string().c_str(),
+                    spec.find("summary")->as_string().c_str());
+      }
+    }
+
+    if (demo) {
+      const std::vector<graph::Graph> gs = demo_graphs();
+      std::string graphs_json = "[";
+      for (std::size_t i = 0; i < gs.size(); ++i) {
+        if (i) graphs_json += ',';
+        graphs_json += encode_graph(gs[i]);
+      }
+      graphs_json += ']';
+
+      // One request per solver over the same graphs: a mixed-solver batch
+      // from the cache's point of view (distinct key per solver).
+      const struct {
+        const char* solver;
+        const char* options;
+      } passes[] = {
+          {"algorithm1", "{\"t\":5,\"radius1\":4,\"radius2\":4}"},
+          {"theorem44", "{}"},
+          {"greedy", "{}"},
+      };
+      for (const auto& pass : passes) {
+        const std::string line = std::string("{\"op\":\"solve\",\"solver\":\"") +
+                                 pass.solver + "\",\"options\":" + pass.options +
+                                 ",\"measure_ratio\":true,\"graphs\":" + graphs_json + "}";
+        const auto response = exchange(fd, reader, line);
+        require_ok(response, std::string("solve ") + pass.solver);
+        const auto& responses = response.find("responses")->as_array();
+        std::size_t total_size = 0;
+        for (const auto& r : responses) {
+          if (!r.find("valid")->as_bool()) {
+            throw std::runtime_error(std::string(pass.solver) + " returned invalid solution");
+          }
+          total_size += r.find("solution")->as_array().size();
+        }
+        const server::JsonValue* diag = response.find("diag");
+        const auto hits = static_cast<unsigned long long>(diag->find("cache_hits")->as_int());
+        total_hits += hits;
+        std::printf("solve %-12s %zu graphs  Σ|S|=%-4zu  hits=%llu misses=%lld\n",
+                    pass.solver, responses.size(), total_size, hits,
+                    static_cast<long long>(diag->find("cache_misses")->as_int()));
+      }
+    }
+
+    for (const std::string& line : raw_lines) {
+      const auto response = exchange(fd, reader, line);
+      const server::JsonValue* ok = response.find("ok");
+      std::printf("send -> ok=%s\n", ok && ok->as_bool() ? "true" : "false");
+    }
+
+    if (stats) {
+      const auto response = exchange(fd, reader, "{\"op\":\"stats\"}");
+      require_ok(response, "stats");
+      const server::JsonValue* cache = response.find("cache");
+      std::printf("stats: cache hits=%lld misses=%lld size=%lld/%lld\n",
+                  static_cast<long long>(cache->find("hits")->as_int()),
+                  static_cast<long long>(cache->find("misses")->as_int()),
+                  static_cast<long long>(cache->find("size")->as_int()),
+                  static_cast<long long>(cache->find("capacity")->as_int()));
+    }
+
+    if (!save_path.empty()) {
+      std::string line = "{\"op\":\"save_cache\",\"path\":";
+      server::json_append_string(line, save_path);
+      line += '}';
+      const auto response = exchange(fd, reader, line);
+      require_ok(response, "save_cache");
+      std::printf("save_cache %s: %lld entries\n", save_path.c_str(),
+                  static_cast<long long>(response.find("entries")->as_int()));
+    }
+
+    if (!load_path.empty()) {
+      std::string line = "{\"op\":\"load_cache\",\"path\":";
+      server::json_append_string(line, load_path);
+      line += '}';
+      const auto response = exchange(fd, reader, line);
+      require_ok(response, "load_cache");
+      std::printf("load_cache %s: %lld entries\n", load_path.c_str(),
+                  static_cast<long long>(response.find("entries")->as_int()));
+    }
+
+    if (shutdown) {
+      const auto response = exchange(fd, reader, "{\"op\":\"shutdown\"}");
+      require_ok(response, "shutdown");
+      std::printf("shutdown acknowledged\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_client: %s\n", e.what());
+    server::close_fd(fd);
+    return 1;
+  }
+  server::close_fd(fd);
+
+  if (expect_hits && total_hits == 0) {
+    std::fprintf(stderr, "serve_client: expected cache hits > 0, saw none\n");
+    return 3;
+  }
+  return 0;
+}

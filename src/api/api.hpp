@@ -11,6 +11,7 @@
 // call site per algorithm.
 
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -79,6 +80,17 @@ class ParamValue {
 };
 
 std::string_view to_string(ParamValue::Type t);
+
+/// Parses the textual spelling of a parameter value against its declared
+/// type — the one strict parser shared by mds_cli and the serve_client
+/// driver. Rules: Double accepts any finite decimal ("0.25", "1e-3");
+/// Bool accepts "true"/"false" (an integer spelling falls through to Int and
+/// is coerced by the registry, 0 = false); Int accepts a decimal integer
+/// that fits in int. Trailing garbage ("5x"), out-of-range values
+/// ("99999999999" — no silent wraparound), empty strings, and non-finite
+/// doubles ("inf", "nan") all return std::nullopt.
+std::optional<ParamValue> parse_param_value(std::string_view text,
+                                            ParamValue::Type declared);
 
 /// One named typed parameter a solver accepts. The default's type *is* the
 /// parameter's declared type.

@@ -1,5 +1,13 @@
 #include "api/cache.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
 #include "graph/hash.hpp"
 
 namespace lmds::api {
@@ -11,13 +19,28 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
   return static_cast<std::size_t>(h);
 }
 
+namespace {
+
+// Backslash-escapes the structural characters of the canonical key grammar.
+// Without this, a future string-valued parameter (or a parameter *name*)
+// containing '=' or ';' could make two distinct option maps serialize to the
+// same key string — e.g. {"a=1;b": 2} vs {"a": 1, "b": 2}.
+void append_escaped(std::string& out, std::string_view field) {
+  for (const char c : field) {
+    if (c == '\\' || c == '=' || c == ';' || c == '|') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
 std::string canonical_options(const Options& params, bool measure_traffic,
                               bool measure_ratio) {
   std::string out;
   for (const auto& [name, value] : params) {  // std::map: sorted, canonical
-    out += name;
+    append_escaped(out, name);
     out += '=';
-    out += value.to_string();
+    append_escaped(out, value.to_string());
     out += ';';
   }
   out += "|traffic=";
@@ -33,10 +56,7 @@ std::optional<Response> ResponseCache::lookup(const CacheKey& key) {
   if (!enabled()) return std::nullopt;
   std::lock_guard lock(mu_);
   const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return std::nullopt;
-  }
+  if (it == index_.end()) return std::nullopt;  // the completing insert() counts the miss
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
   ++hits_;
   return it->second->second;
@@ -45,6 +65,7 @@ std::optional<Response> ResponseCache::lookup(const CacheKey& key) {
 bool ResponseCache::insert(const CacheKey& key, const Response& value) {
   if (!enabled()) return false;
   std::lock_guard lock(mu_);
+  ++misses_;  // one computed Response reached the cache — the request's miss
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent workers may compute the same entry; keep the first, just
@@ -73,6 +94,257 @@ void ResponseCache::clear() {
   std::lock_guard lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format (little-endian, version 1):
+//
+//   magic   "LMDSCACH"                       8 bytes
+//   version u32                              = 1
+//   count   u64
+//   count entries, least- to most-recently-used:
+//     CacheKey   { graph_hash u64, solver str, options str }
+//     Response   { solver str, problem u8, solution vec<i32>, valid u8,
+//                  ratio { size i32, reference i32, exact u8, ratio f64 },
+//                  ratio_measured u8,
+//                  diag { rounds i32,
+//                         traffic { rounds i32, messages u64, bytes u64 },
+//                         traffic_measured u8, twin_classes i32,
+//                         one_cuts vec<i32>, two_cut_vertices vec<i32>,
+//                         brute_forced vec<i32>,
+//                         residual_components i32,
+//                         max_residual_diameter i32 } }
+//   footer  u64 = kFooter
+//
+// str = u32 length + bytes; vec<i32> = u32 count + i32 each; f64 = IEEE bits
+// as u64. The footer catches truncation: a snapshot cut anywhere fails the
+// footer read (or an inner read) and deserialize() throws without touching
+// the live entries.
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'M', 'D', 'S', 'C', 'A', 'C', 'H'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kFooter = 0x4C4D44534E415053ULL;  // "LMDSNAPS"
+
+void put_bytes(std::ostream& out, const void* p, std::size_t n) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+void put_u8(std::ostream& out, std::uint8_t v) { put_bytes(out, &v, 1); }
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  put_bytes(out, b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  put_bytes(out, b, 8);
+}
+
+void put_i32(std::ostream& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::ostream& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+void put_str(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  put_bytes(out, s.data(), s.size());
+}
+
+void put_vertices(std::ostream& out, const std::vector<Vertex>& vs) {
+  put_u32(out, static_cast<std::uint32_t>(vs.size()));
+  for (const Vertex v : vs) put_i32(out, v);
+}
+
+[[noreturn]] void truncated() {
+  throw std::runtime_error("cache snapshot: truncated or corrupt stream");
+}
+
+void get_bytes(std::istream& in, void* p, std::size_t n) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in.gcount()) != n) truncated();
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  std::uint8_t v;
+  get_bytes(in, &v, 1);
+  return v;
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::uint8_t b[4];
+  get_bytes(in, b, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::uint8_t b[8];
+  get_bytes(in, b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::int32_t get_i32(std::istream& in) { return static_cast<std::int32_t>(get_u32(in)); }
+
+double get_f64(std::istream& in) { return std::bit_cast<double>(get_u64(in)); }
+
+// Length prefixes in a corrupt snapshot are attacker/garbage-controlled, so
+// the readers below never allocate a declared length up front — they grow
+// with the bytes actually present, and a truncated stream throws after
+// consuming only what existed. (A long-but-corrupt stream is bounded by its
+// own size, which the operator chose to load.)
+constexpr std::uint32_t kReadChunk = 1u << 16;
+
+std::string get_str(std::istream& in) {
+  std::uint32_t n = get_u32(in);
+  std::string s;
+  char buf[kReadChunk];
+  while (n > 0) {
+    const std::uint32_t take = std::min(n, kReadChunk);
+    get_bytes(in, buf, take);
+    s.append(buf, take);
+    n -= take;
+  }
+  return s;
+}
+
+std::vector<Vertex> get_vertices(std::istream& in) {
+  const std::uint32_t n = get_u32(in);
+  std::vector<Vertex> vs;
+  vs.reserve(std::min(n, kReadChunk));
+  for (std::uint32_t i = 0; i < n; ++i) vs.push_back(get_i32(in));
+  return vs;
+}
+
+void put_response(std::ostream& out, const Response& r) {
+  put_str(out, r.solver);
+  put_u8(out, r.problem == Problem::Mds ? 0 : 1);
+  put_vertices(out, r.solution);
+  put_u8(out, r.valid ? 1 : 0);
+  put_i32(out, r.ratio.solution_size);
+  put_i32(out, r.ratio.reference);
+  put_u8(out, r.ratio.exact ? 1 : 0);
+  put_f64(out, r.ratio.ratio);
+  put_u8(out, r.ratio_measured ? 1 : 0);
+  put_i32(out, r.diag.rounds);
+  put_i32(out, r.diag.traffic.rounds);
+  put_u64(out, r.diag.traffic.messages);
+  put_u64(out, r.diag.traffic.bytes);
+  put_u8(out, r.diag.traffic_measured ? 1 : 0);
+  put_i32(out, r.diag.twin_classes);
+  put_vertices(out, r.diag.one_cuts);
+  put_vertices(out, r.diag.two_cut_vertices);
+  put_vertices(out, r.diag.brute_forced);
+  put_i32(out, r.diag.residual_components);
+  put_i32(out, r.diag.max_residual_diameter);
+}
+
+Response get_response(std::istream& in) {
+  Response r;
+  r.solver = get_str(in);
+  r.problem = get_u8(in) == 0 ? Problem::Mds : Problem::Mvc;
+  r.solution = get_vertices(in);
+  r.valid = get_u8(in) != 0;
+  r.ratio.solution_size = get_i32(in);
+  r.ratio.reference = get_i32(in);
+  r.ratio.exact = get_u8(in) != 0;
+  r.ratio.ratio = get_f64(in);
+  r.ratio_measured = get_u8(in) != 0;
+  r.diag.rounds = get_i32(in);
+  r.diag.traffic.rounds = get_i32(in);
+  r.diag.traffic.messages = get_u64(in);
+  r.diag.traffic.bytes = get_u64(in);
+  r.diag.traffic_measured = get_u8(in) != 0;
+  r.diag.twin_classes = get_i32(in);
+  r.diag.one_cuts = get_vertices(in);
+  r.diag.two_cut_vertices = get_vertices(in);
+  r.diag.brute_forced = get_vertices(in);
+  r.diag.residual_components = get_i32(in);
+  r.diag.max_residual_diameter = get_i32(in);
+  return r;
+}
+
+}  // namespace
+
+void ResponseCache::serialize(std::ostream& out) const {
+  std::lock_guard lock(mu_);
+  put_bytes(out, kMagic, sizeof kMagic);
+  put_u32(out, kVersion);
+  put_u64(out, lru_.size());
+  // Back-to-front = LRU first, so replaying the stream through ordered
+  // inserts reproduces the recency order exactly.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    put_u64(out, it->first.graph_hash);
+    put_str(out, it->first.solver);
+    put_str(out, it->first.options);
+    put_response(out, it->second);
+  }
+  put_u64(out, kFooter);
+  if (!out) throw std::runtime_error("cache snapshot: stream write failed");
+}
+
+void ResponseCache::deserialize(std::istream& in) {
+  char magic[8];
+  get_bytes(in, magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("cache snapshot: bad magic (not a snapshot file)");
+  }
+  const std::uint32_t version = get_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("cache snapshot: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t count = get_u64(in);
+
+  // Parse the whole snapshot before touching live state: a truncation throws
+  // from here and the cache is left exactly as it was.
+  LruList entries;  // built MRU-first, i.e. in final list order
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CacheKey key;
+    key.graph_hash = get_u64(in);
+    key.solver = get_str(in);
+    key.options = get_str(in);
+    Response value = get_response(in);
+    entries.emplace_front(std::move(key), std::move(value));
+    if (enabled() && entries.size() > capacity_) entries.pop_back();  // drop oldest
+  }
+  if (get_u64(in) != kFooter) truncated();
+  if (!enabled()) return;
+
+  std::lock_guard lock(mu_);
+  lru_ = std::move(entries);
+  index_.clear();
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    // Front-to-back is most- to least-recent; on a (corrupt) duplicate key
+    // keep the more recent copy so list and index stay consistent.
+    if (index_.emplace(it->first, it).second) {
+      ++it;
+    } else {
+      it = lru_.erase(it);
+    }
+  }
+}
+
+void ResponseCache::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cache snapshot: cannot write " + path);
+  serialize(out);
+  out.flush();
+  if (!out) throw std::runtime_error("cache snapshot: write to " + path + " failed");
+}
+
+void ResponseCache::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cache snapshot: cannot open " + path);
+  deserialize(in);
 }
 
 }  // namespace lmds::api

@@ -18,8 +18,13 @@
 //
 // Hits return a copy of the stored Response, bit-identical to the Response
 // the original run produced (asserted in tests/test_batch.cpp).
+//
+// Persistence: serialize() / deserialize() snapshot the entries (keys +
+// responses, in recency order) to a versioned binary stream, so a long-lived
+// server can warm its cache across restarts (src/server/, lmds_serve).
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -46,12 +51,18 @@ struct CacheKeyHash {
 
 /// Serializes resolved params + request flags into the canonical key string,
 /// e.g. "radius1=4;radius2=4;t=5;twin_removal=true;|traffic=0;ratio=1".
-/// `params` must already be resolved (Registry::resolve_options).
+/// `params` must already be resolved (Registry::resolve_options). Any
+/// '=', ';', '|' or '\' inside a field is backslash-escaped, so two distinct
+/// parameter maps can never serialize to the same key string — important
+/// once string/enum ParamValues exist, and frozen into the snapshot format.
 std::string canonical_options(const Options& params, bool measure_traffic,
                               bool measure_ratio);
 
 /// Cumulative counters; surfaced per batch through BatchDiagnostics and for
-/// the cache's lifetime through ResponseCache::stats().
+/// the cache's lifetime through ResponseCache::stats(). A miss is counted
+/// when a computed Response is inserted, not at lookup time, so hits + misses
+/// always equals the number of *completed* requests even when a solve throws
+/// between the failed lookup and the insert.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -74,15 +85,36 @@ class ResponseCache {
   std::size_t capacity() const { return capacity_; }
 
   /// Returns a copy of the cached Response and promotes the entry to
-  /// most-recently-used; std::nullopt on miss. Counts one hit or miss.
+  /// most-recently-used; std::nullopt on miss. Counts a hit on success;
+  /// a miss is counted by the insert() that completes the request.
   std::optional<Response> lookup(const CacheKey& key);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used one
-  /// when at capacity. Returns true iff an entry was evicted.
+  /// when at capacity. Counts one miss — insert() is called exactly once per
+  /// computed Response, so the counter tracks completed work, not attempts.
+  /// Returns true iff an entry was evicted.
   bool insert(const CacheKey& key, const Response& value);
 
   CacheStats stats() const;
   void clear();
+
+  /// Writes a versioned binary snapshot of the entries (keys + responses,
+  /// least- to most-recently-used) to `out`. Counters are not part of the
+  /// snapshot — they describe this process's lifetime, not the data.
+  void serialize(std::ostream& out) const;
+
+  /// Replaces the current entries with a snapshot previously written by
+  /// serialize(). Recency order is preserved; if the snapshot holds more
+  /// entries than this cache's capacity, only the most recent ones are kept
+  /// (silently, not counted as evictions). Lifetime counters are untouched.
+  /// Throws std::runtime_error on a bad magic/version or truncated stream,
+  /// leaving the cache unchanged. A disabled cache ignores the snapshot.
+  void deserialize(std::istream& in);
+
+  /// File convenience over serialize()/deserialize(); throws
+  /// std::runtime_error when the file cannot be opened or written.
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
 
  private:
   using LruList = std::list<std::pair<CacheKey, Response>>;  // front = MRU

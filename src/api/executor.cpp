@@ -78,12 +78,17 @@ std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
           out[i] = *std::move(hit);
           return;
         }
-        misses.fetch_add(1, std::memory_order_relaxed);
       }
       out[i] = registry_.run_resolved(solver, g, resolved, req.measure_traffic,
                                       req.measure_ratio);
-      if (cache_.enabled() && cache_.insert(key, out[i])) {
-        evictions.fetch_add(1, std::memory_order_relaxed);
+      // The miss is counted only now that the compute succeeded (a throwing
+      // solve never reaches here), keeping hits + misses equal to completed
+      // work; ResponseCache::insert counts its own lifetime miss the same way.
+      if (cache_.enabled()) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        if (cache_.insert(key, out[i])) {
+          evictions.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     };
 

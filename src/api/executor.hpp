@@ -79,6 +79,10 @@ class BatchExecutor {
   /// Lifetime counters of the executor's cache.
   CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
+  /// The executor's response cache — exposed so a serving front-end can
+  /// snapshot it across restarts (ResponseCache::serialize/deserialize).
+  ResponseCache& cache() { return cache_; }
+  const ResponseCache& cache() const { return cache_; }
 
  private:
   BatchOptions opts_;

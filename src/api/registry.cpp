@@ -1,6 +1,8 @@
 #include "api/registry.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 #include "solve/validate.hpp"
@@ -54,6 +56,30 @@ std::string ParamValue::to_string() const {
     }
   }
   return {};
+}
+
+std::optional<ParamValue> parse_param_value(std::string_view text,
+                                            ParamValue::Type declared) {
+  if (text.empty()) return std::nullopt;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  if (declared == ParamValue::Type::Double) {
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last || !std::isfinite(value)) return std::nullopt;
+    return ParamValue(value);
+  }
+  if (declared == ParamValue::Type::Bool) {
+    if (text == "true") return ParamValue(true);
+    if (text == "false") return ParamValue(false);
+    // Integer spellings ("0", "1") fall through; the registry coerces.
+  }
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  // ec is errc::result_out_of_range when the digits overflow int — rejected,
+  // never wrapped.
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return ParamValue(value);
 }
 
 bool SolverSpec::supports(Mode m) const {

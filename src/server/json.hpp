@@ -1,0 +1,81 @@
+#pragma once
+// Minimal self-contained JSON for the lmds_serve wire protocol: a tagged
+// value type, a strict recursive-descent parser, and locale-independent
+// string/number emission helpers. Deliberately tiny — the protocol
+// (src/server/protocol.hpp) only needs objects, arrays, strings, numbers and
+// booleans — and dependency-free, since the repo vendors no third-party
+// libraries.
+//
+// Numbers: a literal without '.', 'e' or 'E' that fits std::int64_t parses
+// as Int, everything else as Double. Both satisfy as_double(); only Int
+// satisfies as_int() — mirroring ParamValue's "never truncate silently"
+// rule one layer down.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace lmds::server {
+
+/// Thrown by json_parse on malformed input and by the as_*() accessors on a
+/// type mismatch. The serving loop maps it to a "bad_request" error line.
+struct JsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;  // null
+  JsonValue(std::nullptr_t) {}                  // NOLINT(google-explicit-constructor)
+  JsonValue(bool v) : v_(v) {}                  // NOLINT(google-explicit-constructor)
+  JsonValue(std::int64_t v) : v_(v) {}          // NOLINT(google-explicit-constructor)
+  JsonValue(double v) : v_(v) {}                // NOLINT(google-explicit-constructor)
+  JsonValue(std::string v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(Array v) : v_(std::move(v)) {}      // NOLINT(google-explicit-constructor)
+  JsonValue(Object v) : v_(std::move(v)) {}     // NOLINT(google-explicit-constructor)
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::Null; }
+
+  /// Strict accessors; throw JsonError on type mismatch. as_double accepts
+  /// Int (exact promotion); as_int does not accept Double.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when this is not an object or the key is
+  /// absent — the protocol's "optional field" idiom.
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object>
+      v_;  // index order must match Type
+};
+
+std::string_view to_string(JsonValue::Type t);
+
+/// Parses exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed, trailing garbage is an error). Nesting deeper than 64
+/// levels is rejected. Throws JsonError with a byte offset in the message.
+JsonValue json_parse(std::string_view text);
+
+/// Appends `s` as a quoted JSON string with the mandatory escapes.
+void json_append_string(std::string& out, std::string_view s);
+
+/// Appends a finite double in locale-independent shortest round-trip form
+/// (std::to_chars — never a decimal comma). Non-finite values emit null.
+void json_append_double(std::string& out, double v);
+
+}  // namespace lmds::server

@@ -1,0 +1,162 @@
+// lmds_serve — the long-lived batch-serving front-end. Owns one
+// BatchExecutor (worker pool + work-stealing shards + LRU response cache)
+// and answers the newline-delimited JSON protocol of src/server/protocol.hpp
+// over TCP. See README.md "Serving" for the protocol by example.
+//
+//   $ ./lmds_serve --port 7411 --threads 4 --cache-capacity 4096 --snapshot cache.lmds
+//
+// --snapshot FILE warms the response cache from FILE at startup (when it
+// exists) and saves it back on clean shutdown, so a restarted server answers
+// replayed batches from cache; the save_cache / load_cache admin verbs do
+// the same on demand, at client-chosen names confined to --snapshot-dir.
+//
+// Exit codes: 0 clean shutdown; 1 startup failure (bad flags, bind error).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "server/server.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lmds_serve [--host H] [--port P] [--port-file FILE]\n"
+               "                  [--threads N] [--shard-size N] [--cache-capacity N]\n"
+               "                  [--snapshot FILE] [--snapshot-dir DIR | --no-snapshot-verbs]\n"
+               "                  [--max-line-bytes N] [--max-graph-vertices N]\n"
+               "                  [--max-batch-graphs N]\n"
+               "defaults: 127.0.0.1:7411, threads 0 (hardware), shard_size 4,\n"
+               "          cache 4096 entries; --port 0 picks an ephemeral port\n"
+               "          (printed on stdout and to --port-file).\n"
+               "Client save_cache/load_cache paths resolve under --snapshot-dir\n"
+               "(default: the working directory); --no-snapshot-verbs disables them.\n"
+               "--snapshot itself is operator-local and unrestricted.\n");
+  return 1;
+}
+
+// The same strict parser mds_cli uses for --param values: trailing garbage
+// and out-of-range values are rejected, never wrapped.
+bool parse_int_flag(const char* raw, int min, int max, int* out) {
+  const auto v = lmds::api::parse_param_value(raw, lmds::api::ParamValue::Type::Int);
+  if (!v || v->as_int() < min || v->as_int() > max) return false;
+  *out = v->as_int();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lmds;
+
+  server::ServerOptions opts;
+  opts.port = 7411;
+  opts.batch.threads = 0;  // hardware concurrency
+  opts.batch.cache_capacity = 4096;
+  std::string snapshot;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    int parsed = 0;
+    if (arg == "--host" && value) {
+      opts.host = value;
+      ++i;
+    } else if (arg == "--port" && value && parse_int_flag(value, 0, 65535, &parsed)) {
+      opts.port = parsed;
+      ++i;
+    } else if (arg == "--port-file" && value) {
+      port_file = value;
+      ++i;
+    } else if (arg == "--threads" && value && parse_int_flag(value, 0, 4096, &parsed)) {
+      opts.batch.threads = parsed;
+      ++i;
+    } else if (arg == "--shard-size" && value && parse_int_flag(value, 1, 1 << 20, &parsed)) {
+      opts.batch.shard_size = parsed;
+      ++i;
+    } else if (arg == "--cache-capacity" && value &&
+               parse_int_flag(value, 0, 1 << 30, &parsed)) {
+      opts.batch.cache_capacity = static_cast<std::size_t>(parsed);
+      ++i;
+    } else if (arg == "--snapshot" && value) {
+      snapshot = value;
+      ++i;
+    } else if (arg == "--snapshot-dir" && value) {
+      opts.snapshot_dir = value;
+      ++i;
+    } else if (arg == "--no-snapshot-verbs") {
+      opts.snapshot_dir.clear();
+    } else if (arg == "--max-line-bytes" && value &&
+               parse_int_flag(value, 64, 1 << 30, &parsed)) {
+      opts.limits.max_line_bytes = static_cast<std::size_t>(parsed);
+      ++i;
+    } else if (arg == "--max-graph-vertices" && value &&
+               parse_int_flag(value, 1, 1 << 30, &parsed)) {
+      opts.limits.max_graph_vertices = parsed;
+      ++i;
+    } else if (arg == "--max-batch-graphs" && value &&
+               parse_int_flag(value, 1, 1 << 30, &parsed)) {
+      opts.limits.max_batch_graphs = static_cast<std::size_t>(parsed);
+      ++i;
+    } else {
+      std::fprintf(stderr, "lmds_serve: bad flag or value: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    server::Server srv(opts);
+
+    if (!snapshot.empty()) {
+      // A missing snapshot is the normal cold start; a corrupt one is worth
+      // a warning but not a refusal to serve.
+      if (std::ifstream probe(snapshot, std::ios::binary); probe) {
+        try {
+          srv.executor().cache().load_file(snapshot);
+          std::fprintf(stderr, "lmds_serve: warmed %zu cache entries from %s\n",
+                       srv.executor().cache_stats().size, snapshot.c_str());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "lmds_serve: ignoring snapshot %s: %s\n", snapshot.c_str(),
+                       e.what());
+        }
+      }
+    }
+
+    srv.bind_and_listen();
+    std::printf("lmds_serve listening on %s:%d\n", opts.host.c_str(), srv.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file, std::ios::trunc);
+      pf << srv.port() << '\n';
+      if (!pf) {
+        std::fprintf(stderr, "lmds_serve: cannot write %s\n", port_file.c_str());
+        return 1;
+      }
+    }
+
+    srv.serve();
+
+    if (!snapshot.empty()) {
+      try {
+        srv.executor().cache().save_file(snapshot);
+        std::fprintf(stderr, "lmds_serve: saved %zu cache entries to %s\n",
+                     srv.executor().cache_stats().size, snapshot.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "lmds_serve: snapshot save failed: %s\n", e.what());
+      }
+    }
+    const server::ServerCounters c = srv.counters();
+    std::fprintf(stderr,
+                 "lmds_serve: shutdown after %llu connections, %llu requests, "
+                 "%llu graphs\n",
+                 static_cast<unsigned long long>(c.connections),
+                 static_cast<unsigned long long>(c.requests),
+                 static_cast<unsigned long long>(c.graphs_solved));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lmds_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+// Thin POSIX TCP helpers shared by the server's connection loop, the
+// serve_client example and the socket tests. Linux/POSIX only — the serving
+// subsystem is gated out of the build elsewhere (CMake) if the platform
+// lacks these headers.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lmds::server {
+
+/// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1"). Returns the
+/// connected fd, or -1 with errno set.
+int tcp_connect(const std::string& host, int port);
+
+/// Writes all of `data`, retrying on short writes / EINTR. Returns false on
+/// a write error (e.g. peer closed).
+bool send_all(int fd, std::string_view data);
+
+/// Incremental newline-delimited reader over one fd. Reads in chunks,
+/// buffers the remainder, hands back complete lines without the '\n'.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next complete line. std::nullopt on EOF with no buffered data, or when
+  /// a line exceeds max_bytes (oversized_ is set — the caller should drop
+  /// the connection; resynchronizing inside a half-read line is guesswork).
+  std::optional<std::string> next_line(std::size_t max_bytes);
+
+  bool oversized() const { return oversized_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+  bool oversized_ = false;
+};
+
+/// close(2) wrapper that ignores EINTR; safe on -1.
+void close_fd(int fd);
+
+}  // namespace lmds::server

@@ -1,0 +1,266 @@
+#include "server/protocol.hpp"
+
+#include <limits>
+
+#include "graph/builder.hpp"
+
+namespace lmds::server {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::UnknownSolver: return "unknown_solver";
+    case ErrorCode::SolverFailure: return "solver_failure";
+    case ErrorCode::IoError: return "io_error";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& what) {
+  throw ProtocolError(ErrorCode::BadRequest, what);
+}
+
+int int_field(const JsonValue& v, std::string_view what) {
+  std::int64_t value = 0;
+  try {
+    value = v.as_int();
+  } catch (const JsonError& e) {
+    bad_request(std::string(what) + ": " + e.what());
+  }
+  if (value < std::numeric_limits<int>::min() || value > std::numeric_limits<int>::max()) {
+    bad_request(std::string(what) + ": " + std::to_string(value) + " out of int range");
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+graph::Graph decode_graph(const JsonValue& v, const ServerLimits& limits) {
+  if (v.type() != JsonValue::Type::Object) bad_request("graph must be an object");
+  const JsonValue* edges = v.find("edges");
+  if (!edges) bad_request("graph has no \"edges\" array");
+  if (edges->type() != JsonValue::Type::Array) bad_request("\"edges\" must be an array");
+
+  int declared_n = -1;
+  if (const JsonValue* n = v.find("n")) {
+    declared_n = int_field(*n, "graph \"n\"");
+    if (declared_n < 0) bad_request("graph \"n\" must be >= 0");
+    if (declared_n > limits.max_graph_vertices) {
+      bad_request("graph too large: n=" + std::to_string(declared_n) + " exceeds limit " +
+                  std::to_string(limits.max_graph_vertices));
+    }
+  }
+
+  graph::GraphBuilder builder(declared_n >= 0 ? declared_n : 0);
+  for (const JsonValue& e : edges->as_array()) {
+    if (e.type() != JsonValue::Type::Array || e.as_array().size() != 2) {
+      bad_request("each edge must be a [u, v] pair");
+    }
+    const int u = int_field(e.as_array()[0], "edge endpoint");
+    const int w = int_field(e.as_array()[1], "edge endpoint");
+    if (u < 0 || w < 0) bad_request("edge endpoints must be >= 0");
+    const int hi = std::max(u, w);
+    if (declared_n >= 0 && hi >= declared_n) {
+      bad_request("edge endpoint " + std::to_string(hi) + " outside [0, n=" +
+                  std::to_string(declared_n) + ")");
+    }
+    if (hi >= limits.max_graph_vertices) {
+      bad_request("graph too large: endpoint " + std::to_string(hi) + " exceeds limit " +
+                  std::to_string(limits.max_graph_vertices));
+    }
+    if (u == w) bad_request("self-loop at vertex " + std::to_string(u));
+    builder.add_edge(u, w);
+  }
+  return builder.build();
+}
+
+SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
+                          const ServerLimits& limits) {
+  SolveRequest out;
+  const JsonValue* solver = root.find("solver");
+  if (!solver || solver->type() != JsonValue::Type::String) {
+    bad_request("solve request needs a string \"solver\" field");
+  }
+  out.solver = solver->as_string();
+  if (!registry.find(out.solver)) {
+    throw ProtocolError(ErrorCode::UnknownSolver,
+                        "unknown solver '" + out.solver + "' (try {\"op\":\"solvers\"})");
+  }
+
+  if (const JsonValue* options = root.find("options")) {
+    if (options->type() != JsonValue::Type::Object) {
+      bad_request("\"options\" must be an object");
+    }
+    for (const auto& [name, value] : options->as_object()) {
+      switch (value.type()) {
+        case JsonValue::Type::Bool: out.request.options[name] = value.as_bool(); break;
+        case JsonValue::Type::Int:
+          out.request.options[name] = int_field(value, "option \"" + name + "\"");
+          break;
+        case JsonValue::Type::Double: out.request.options[name] = value.as_double(); break;
+        default:
+          bad_request("option \"" + name + "\" must be a number or bool, got " +
+                      std::string(to_string(value.type())));
+      }
+    }
+  }
+  if (const JsonValue* flag = root.find("measure_traffic")) {
+    if (flag->type() != JsonValue::Type::Bool) bad_request("\"measure_traffic\" must be a bool");
+    out.request.measure_traffic = flag->as_bool();
+  }
+  if (const JsonValue* flag = root.find("measure_ratio")) {
+    if (flag->type() != JsonValue::Type::Bool) bad_request("\"measure_ratio\" must be a bool");
+    out.request.measure_ratio = flag->as_bool();
+  }
+
+  const JsonValue* graphs = root.find("graphs");
+  if (!graphs || graphs->type() != JsonValue::Type::Array) {
+    bad_request("solve request needs a \"graphs\" array");
+  }
+  if (graphs->as_array().size() > limits.max_batch_graphs) {
+    bad_request("batch too large: " + std::to_string(graphs->as_array().size()) +
+                " graphs exceeds limit " + std::to_string(limits.max_batch_graphs));
+  }
+  out.graphs.reserve(graphs->as_array().size());
+  for (const JsonValue& g : graphs->as_array()) out.graphs.push_back(decode_graph(g, limits));
+  return out;
+}
+
+std::string encode_error(ErrorCode code, std::string_view message) {
+  std::string out = "{\"ok\":false,\"code\":";
+  json_append_string(out, to_string(code));
+  out += ",\"error\":";
+  json_append_string(out, message);
+  out += '}';
+  return out;
+}
+
+namespace {
+
+void append_vertices(std::string& out, const std::vector<api::Vertex>& vs) {
+  out += '[';
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(vs[i]);
+  }
+  out += ']';
+}
+
+void append_response(std::string& out, const api::Response& r) {
+  out += "{\"solver\":";
+  json_append_string(out, r.solver);
+  out += ",\"problem\":";
+  json_append_string(out, to_string(r.problem));
+  out += ",\"solution\":";
+  append_vertices(out, r.solution);
+  out += ",\"valid\":";
+  out += r.valid ? "true" : "false";
+  out += ",\"rounds\":";
+  out += std::to_string(r.diag.rounds);
+  if (r.diag.traffic_measured) {
+    out += ",\"traffic\":{\"rounds\":" + std::to_string(r.diag.traffic.rounds) +
+           ",\"messages\":" + std::to_string(r.diag.traffic.messages) +
+           ",\"bytes\":" + std::to_string(r.diag.traffic.bytes) + '}';
+  }
+  if (r.ratio_measured) {
+    out += ",\"ratio\":{\"solution_size\":" + std::to_string(r.ratio.solution_size) +
+           ",\"reference\":" + std::to_string(r.ratio.reference) + ",\"exact\":";
+    out += r.ratio.exact ? "true" : "false";
+    out += ",\"ratio\":";
+    json_append_double(out, r.ratio.ratio);
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string encode_solve_result(std::span<const api::Response> responses,
+                                const api::BatchDiagnostics& diag) {
+  std::string out = "{\"ok\":true,\"op\":\"solve\",\"responses\":[";
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (i) out += ',';
+    append_response(out, responses[i]);
+  }
+  out += "],\"diag\":{\"threads\":" + std::to_string(diag.threads) +
+         ",\"shards\":" + std::to_string(diag.shards) +
+         ",\"stolen_shards\":" + std::to_string(diag.stolen_shards) +
+         ",\"cache_hits\":" + std::to_string(diag.cache_hits) +
+         ",\"cache_misses\":" + std::to_string(diag.cache_misses) +
+         ",\"cache_evictions\":" + std::to_string(diag.cache_evictions) + "}}";
+  return out;
+}
+
+std::string encode_solvers(const api::Registry& registry) {
+  std::string out = "{\"ok\":true,\"op\":\"solvers\",\"solvers\":[";
+  bool first_spec = true;
+  for (const api::SolverSpec* spec : registry.specs()) {
+    if (!first_spec) out += ',';
+    first_spec = false;
+    out += "{\"name\":";
+    json_append_string(out, spec->name);
+    out += ",\"problem\":";
+    json_append_string(out, to_string(spec->problem));
+    out += ",\"modes\":[";
+    for (std::size_t i = 0; i < spec->modes.size(); ++i) {
+      if (i) out += ',';
+      json_append_string(out, to_string(spec->modes[i]));
+    }
+    out += "],\"summary\":";
+    json_append_string(out, spec->summary);
+    out += ",\"params\":[";
+    for (std::size_t i = 0; i < spec->params.size(); ++i) {
+      const api::ParamSpec& p = spec->params[i];
+      if (i) out += ',';
+      out += "{\"name\":";
+      json_append_string(out, p.name);
+      out += ",\"type\":";
+      json_append_string(out, to_string(p.type()));
+      out += ",\"default\":";
+      switch (p.type()) {
+        case api::ParamValue::Type::Int:
+          out += std::to_string(p.default_value.as_int());
+          break;
+        case api::ParamValue::Type::Bool:
+          out += p.default_value.as_bool() ? "true" : "false";
+          break;
+        case api::ParamValue::Type::Double:
+          json_append_double(out, p.default_value.as_double());
+          break;
+      }
+      out += ",\"description\":";
+      json_append_string(out, p.description);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string encode_stats(const api::CacheStats& cache, const ServerCounters& server) {
+  std::string out = "{\"ok\":true,\"op\":\"stats\",\"cache\":{\"hits\":" +
+                    std::to_string(cache.hits) + ",\"misses\":" + std::to_string(cache.misses) +
+                    ",\"evictions\":" + std::to_string(cache.evictions) +
+                    ",\"size\":" + std::to_string(cache.size) +
+                    ",\"capacity\":" + std::to_string(cache.capacity) + "}";
+  out += ",\"server\":{\"connections\":" + std::to_string(server.connections) +
+         ",\"requests\":" + std::to_string(server.requests) +
+         ",\"graphs_solved\":" + std::to_string(server.graphs_solved) + "}}";
+  return out;
+}
+
+std::string encode_ok(std::string_view op, std::string_view extra_members) {
+  std::string out = "{\"ok\":true,\"op\":";
+  json_append_string(out, op);
+  if (!extra_members.empty()) {
+    out += ',';
+    out += extra_members;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace lmds::server

@@ -1,0 +1,118 @@
+#pragma once
+// The lmds_serve wire protocol: newline-delimited JSON, one request object
+// per line in, one response object per line out.
+//
+// Solve request:
+//   {"op":"solve","solver":"algorithm1",
+//    "options":{"t":5,"twin_removal":true},          // optional
+//    "measure_traffic":false,"measure_ratio":true,   // optional, default false
+//    "graphs":[{"n":4,"edges":[[0,1],[1,2]]}, ...]}  // edge-list graphs
+//
+// Admin requests:
+//   {"op":"solvers"}                  registry enumeration
+//   {"op":"stats"}                    cache + server counters
+//   {"op":"save_cache","path":"f"}    snapshot the response cache to disk
+//   {"op":"load_cache","path":"f"}    warm the response cache from disk
+//   {"op":"shutdown"}                 stop accepting, drain, exit
+//
+// Responses: {"ok":true,"op":...,...} on success;
+// {"ok":false,"code":"bad_request"|"unknown_solver"|"solver_failure"|
+//  "io_error","error":"message"} on failure. A solve response carries one
+// entry per input graph plus the batch's executor diagnostics:
+//   {"ok":true,"op":"solve","responses":[{"solver":..,"problem":"mds",
+//    "solution":[..],"valid":true,"rounds":..,
+//    "traffic":{..}?,"ratio":{..}?}, ...],
+//    "diag":{"threads":..,"shards":..,"stolen_shards":..,"cache_hits":..,
+//            "cache_misses":..,"cache_evictions":..}}
+//
+// This header is socket-free: parsing/encoding is pure string work, so
+// tests/test_server.cpp exercises the whole protocol without a network.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/registry.hpp"
+#include "graph/graph.hpp"
+#include "server/json.hpp"
+
+namespace lmds::server {
+
+/// Wire-visible failure classes; the `code` field of an error line.
+enum class ErrorCode { BadRequest, UnknownSolver, SolverFailure, IoError };
+
+std::string_view to_string(ErrorCode code);
+
+/// Thrown by the decode helpers; the serving loop turns it into an error
+/// line via encode_error(code(), what()).
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Request-size guard rails, enforced before any solver runs. Defaults are
+/// deliberately generous; lmds_serve exposes them as flags.
+struct ServerLimits {
+  std::size_t max_line_bytes = 8u << 20;  ///< one request line, newline included
+  int max_graph_vertices = 1'000'000;     ///< per decoded graph
+  std::size_t max_batch_graphs = 10'000;  ///< graphs per solve request
+};
+
+/// A decoded solve request: the solver name, the request shape (options +
+/// flags; Request::graph stays null — batch entry points take the spans) and
+/// the decoded graphs.
+struct SolveRequest {
+  std::string solver;
+  api::Request request;
+  std::vector<graph::Graph> graphs;
+};
+
+/// Decodes {"n":int?,"edges":[[u,v],...]} into a Graph. `n` is optional —
+/// absent, it becomes max endpoint + 1. Throws ProtocolError(BadRequest) on
+/// a malformed shape, an endpoint outside [0, n), a self-loop, or n beyond
+/// limits.max_graph_vertices.
+graph::Graph decode_graph(const JsonValue& v, const ServerLimits& limits);
+
+/// Decodes a parsed {"op":"solve",...} object. Validates the solver name
+/// against `registry` (UnknownSolver) and every option value's JSON type
+/// (BadRequest; int/bool/double map onto ParamValue, coercion rules are the
+/// registry's). Does not run anything.
+SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
+                          const ServerLimits& limits);
+
+/// One error line (no trailing newline), e.g.
+/// {"ok":false,"code":"bad_request","error":"..."}.
+std::string encode_error(ErrorCode code, std::string_view message);
+
+/// The solve success line: responses[i] answers graphs[i].
+std::string encode_solve_result(std::span<const api::Response> responses,
+                                const api::BatchDiagnostics& diag);
+
+/// The solvers success line: every registered SolverSpec with params.
+std::string encode_solvers(const api::Registry& registry);
+
+/// Lifetime counters a `stats` line reports next to the cache's.
+struct ServerCounters {
+  std::uint64_t connections = 0;  ///< connections accepted
+  std::uint64_t requests = 0;     ///< request lines handled (any op)
+  std::uint64_t graphs_solved = 0;  ///< graphs answered across solve ops
+};
+
+/// The stats success line.
+std::string encode_stats(const api::CacheStats& cache, const ServerCounters& server);
+
+/// Generic {"ok":true,"op":<op>} line with optional extra fields appended
+/// verbatim (must be valid JSON object members, e.g. "\"entries\":3").
+std::string encode_ok(std::string_view op, std::string_view extra_members = {});
+
+}  // namespace lmds::server

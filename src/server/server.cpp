@@ -1,0 +1,236 @@
+#include "server/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "server/json.hpp"
+#include "server/net.hpp"
+
+namespace lmds::server {
+
+Server::Server(ServerOptions opts) : Server(std::move(opts), api::Registry::instance()) {}
+
+Server::Server(ServerOptions opts, const api::Registry& registry)
+    : opts_(std::move(opts)), registry_(registry), executor_(opts_.batch, registry) {}
+
+Server::~Server() {
+  request_stop();
+  std::lock_guard lock(conn_mu_);
+  for (const auto& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
+    close_fd(conn->fd);
+  }
+  conns_.clear();
+  close_fd(listen_fd_);
+}
+
+ServerCounters Server::counters() const {
+  return {connections_.load(), requests_.load(), graphs_solved_.load()};
+}
+
+std::string Server::handle_line(std::string_view line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  JsonValue root;
+  try {
+    root = json_parse(line);
+  } catch (const JsonError& e) {
+    return encode_error(ErrorCode::BadRequest, std::string("invalid JSON: ") + e.what());
+  }
+  const JsonValue* op = root.find("op");
+  if (!op || op->type() != JsonValue::Type::String) {
+    return encode_error(ErrorCode::BadRequest, "request needs a string \"op\" field");
+  }
+  const std::string& verb = op->as_string();
+
+  try {
+    if (verb == "solve") {
+      SolveRequest req = decode_solve(root, registry_, opts_.limits);
+      api::BatchDiagnostics diag;
+      std::vector<api::Response> responses;
+      try {
+        responses = executor_.run_batch(req.solver, {req.graphs.data(), req.graphs.size()},
+                                        req.request, &diag);
+      } catch (const api::RequestError& e) {
+        // Undeclared option, type mismatch, traffic on a centralized-only
+        // solver — the request's fault, not the solver's.
+        return encode_error(ErrorCode::BadRequest, e.what());
+      } catch (const std::exception& e) {
+        return encode_error(ErrorCode::SolverFailure,
+                            "solver '" + req.solver + "' failed: " + e.what());
+      }
+      graphs_solved_.fetch_add(req.graphs.size(), std::memory_order_relaxed);
+      return encode_solve_result({responses.data(), responses.size()}, diag);
+    }
+    if (verb == "solvers") return encode_solvers(registry_);
+    if (verb == "stats") return encode_stats(executor_.cache_stats(), counters());
+    if (verb == "save_cache" || verb == "load_cache") {
+      const JsonValue* path = root.find("path");
+      if (!path || path->type() != JsonValue::Type::String) {
+        return encode_error(ErrorCode::BadRequest,
+                            "\"" + verb + "\" needs a string \"path\" field");
+      }
+      const std::string resolved = resolve_snapshot_path(path->as_string());
+      try {
+        if (verb == "save_cache") {
+          executor_.cache().save_file(resolved);
+        } else {
+          executor_.cache().load_file(resolved);
+        }
+      } catch (const std::exception& e) {
+        return encode_error(ErrorCode::IoError, e.what());
+      }
+      std::string extra = "\"path\":";
+      json_append_string(extra, path->as_string());
+      extra += ",\"entries\":" + std::to_string(executor_.cache_stats().size);
+      return encode_ok(verb, extra);
+    }
+    if (verb == "shutdown") {
+      request_stop();
+      return encode_ok("shutdown");
+    }
+    return encode_error(ErrorCode::BadRequest, "unknown op \"" + verb + "\"");
+  } catch (const ProtocolError& e) {
+    return encode_error(e.code(), e.what());
+  }
+}
+
+void Server::bind_and_listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("invalid host address: " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw std::runtime_error("bind(" + opts_.host + ":" + std::to_string(opts_.port) +
+                             "): " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error("listen(): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw std::runtime_error("getsockname(): " + std::string(std::strerror(errno)));
+  }
+  bound_port_ = ntohs(bound.sin_port);
+}
+
+std::string Server::resolve_snapshot_path(const std::string& path) const {
+  if (opts_.snapshot_dir.empty()) {
+    throw ProtocolError(ErrorCode::BadRequest,
+                        "snapshot verbs are disabled (no snapshot directory configured)");
+  }
+  // Clients name snapshots, not filesystem locations: a relative path with
+  // no ".." segment, resolved under the operator-chosen directory. Anything
+  // else could truncate/probe arbitrary files the server can access.
+  if (path.empty() || path.front() == '/' || path.find("..") != std::string::npos) {
+    throw ProtocolError(ErrorCode::BadRequest,
+                        "snapshot path must be relative without \"..\" (it resolves "
+                        "under the server's snapshot directory)");
+  }
+  return opts_.snapshot_dir + "/" + path;
+}
+
+void Server::reap_finished_locked() {
+  std::erase_if(conns_, [](const std::unique_ptr<Connection>& conn) {
+    if (!conn->done.load()) return false;
+    if (conn->thread.joinable()) conn->thread.join();  // finished: joins instantly
+    close_fd(conn->fd);
+    return true;
+  });
+}
+
+void Server::serve() {
+  if (listen_fd_ < 0) throw std::runtime_error("serve() before bind_and_listen()");
+  while (!stop_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // Per-connection failures must not take down a long-lived server: a
+      // client aborting its handshake (ECONNABORTED/EPROTO) is retryable,
+      // and resource pressure (fd table full, no buffers) gets a brief
+      // back-off. Anything else — notably the EINVAL after request_stop()
+      // shuts the listener — ends the loop.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;
+    }
+    if (stop_.load()) {
+      close_fd(fd);
+      break;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(conn_mu_);
+    reap_finished_locked();  // bound dead threads by live connections, not total served
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread(&Server::handle_connection, this, raw);
+  }
+  // Drain: join every connection thread before returning so the caller can
+  // safely destroy the Server (threads reference `this`).
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(conn_mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+    close_fd(conn->fd);
+  }
+}
+
+void Server::handle_connection(Connection* conn) {
+  const int fd = conn->fd;
+  LineReader reader(fd);
+  while (!stop_.load()) {
+    std::optional<std::string> line = reader.next_line(opts_.limits.max_line_bytes);
+    if (!line) {
+      if (reader.oversized()) {
+        // The line never terminated within the limit; report and drop the
+        // connection — resynchronizing mid-line would misparse what follows.
+        (void)send_all(fd, encode_error(ErrorCode::BadRequest,
+                                        "request line exceeds " +
+                                            std::to_string(opts_.limits.max_line_bytes) +
+                                            " bytes") +
+                               "\n");
+      }
+      break;
+    }
+    if (line->empty()) continue;  // blank keep-alive lines are ignored
+    const std::string response = handle_line(*line);
+    if (!send_all(fd, response + "\n")) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);  // the owner (reap/drain/destructor) closes it
+  conn->done.store(true);
+}
+
+void Server::request_stop() {
+  if (stop_.exchange(true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  std::lock_guard lock(conn_mu_);
+  // SHUT_RD only: unblocks each connection's recv() while still letting an
+  // in-flight response (the shutdown ack itself) reach the client. The fd
+  // is guaranteed open here — only reap/drain (same mutex) may close it.
+  for (const auto& conn : conns_) {
+    if (!conn->done.load()) ::shutdown(conn->fd, SHUT_RD);
+  }
+}
+
+}  // namespace lmds::server

@@ -1,0 +1,116 @@
+#pragma once
+// The long-lived serving front-end: one Server owns one BatchExecutor (and
+// therefore one cross-request ResponseCache) and answers the newline-
+// delimited JSON protocol of protocol.hpp over a TCP socket.
+//
+// Layering:
+//   * handle_line() is the socket-free core — one request line in, one
+//     response line out. All protocol tests drive this directly.
+//   * bind_and_listen()/serve() add the POSIX socket loop: one thread per
+//     connection (the executor is reentrant; concurrent connections share
+//     the response cache), a shutdown verb or request_stop() unblocks
+//     accept() and drains the connection threads.
+//
+// Cache persistence: the save_cache/load_cache verbs snapshot the executor's
+// ResponseCache (ResponseCache::serialize/deserialize), and lmds_serve's
+// --snapshot flag loads the file at startup / saves it on shutdown — a
+// restarted server answers a replayed batch from cache (asserted in
+// tests/test_server.cpp and the CI smoke step).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "server/protocol.hpp"
+
+namespace lmds::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read the bound port from port()
+  api::BatchOptions batch{.threads = 1, .shard_size = 4, .cache_capacity = 1024};
+  ServerLimits limits;
+  /// Directory the save_cache/load_cache verbs resolve client-supplied paths
+  /// under. Clients may only name relative paths without ".." — they can
+  /// never write or probe outside this directory. Empty disables the two
+  /// verbs entirely (they answer bad_request).
+  std::string snapshot_dir = ".";
+};
+
+class Server {
+ public:
+  /// Serves Registry::instance().
+  explicit Server(ServerOptions opts);
+  /// Serves a specific registry (tests use local registries).
+  Server(ServerOptions opts, const api::Registry& registry);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one protocol line and returns the response line (no trailing
+  /// '\n'). Never throws for request-level failures — those become
+  /// {"ok":false,...} lines; only programming errors propagate.
+  std::string handle_line(std::string_view line);
+
+  /// True once a shutdown request was handled (or request_stop() called).
+  bool stopping() const { return stop_.load(); }
+
+  /// The executor whose cache outlives individual requests.
+  api::BatchExecutor& executor() { return executor_; }
+  const ServerOptions& options() const { return opts_; }
+  ServerCounters counters() const;
+
+  /// Binds host:port and starts listening; throws std::runtime_error on
+  /// failure. After this, port() returns the actually-bound port.
+  void bind_and_listen();
+  int port() const { return bound_port_; }
+
+  /// Blocking accept loop; returns after a shutdown verb or request_stop().
+  /// All connection threads are joined before returning.
+  void serve();
+
+  /// Thread-safe: unblocks serve() and closes open connections.
+  void request_stop();
+
+ private:
+  /// One accepted connection. The handler thread flips `done` as its last
+  /// act; the fd stays open until the owner (reap/drain) joins and closes —
+  /// never closed concurrently with request_stop()'s shutdown(2).
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void handle_connection(Connection* conn);
+  /// Joins and frees finished connections (called from the accept loop, so
+  /// a long-lived server does not accumulate one dead thread per client).
+  void reap_finished_locked();
+  /// Validates a client-supplied snapshot path and resolves it under
+  /// opts_.snapshot_dir; throws ProtocolError on traversal attempts.
+  std::string resolve_snapshot_path(const std::string& path) const;
+
+  ServerOptions opts_;
+  const api::Registry& registry_;
+  api::BatchExecutor executor_;
+
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> graphs_solved_{0};
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace lmds::server

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <random>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -115,7 +116,10 @@ TEST(ResponseCache, HitReturnsStoredResponseAndPromotes) {
   EXPECT_EQ(stats.size, 2u);
   EXPECT_EQ(stats.capacity, 2u);
   EXPECT_EQ(stats.hits, 3u);
-  EXPECT_EQ(stats.misses, 1u);
+  // Misses are counted at insert (one per completed computation), not at
+  // lookup: three inserts happened, and the failed lookup of key 2 counts
+  // nothing because no computation completed it.
+  EXPECT_EQ(stats.misses, 3u);
 }
 
 TEST(ResponseCache, EvictsAtCapacity) {
@@ -146,6 +150,130 @@ TEST(ResponseCache, CanonicalOptionsSpellOutResolvedParams) {
   params["alpha"] = 0.25;
   EXPECT_EQ(canonical_options(params, false, true),
             "alpha=0.25;t=5;twin_removal=true;|traffic=0;ratio=1");
+}
+
+TEST(ResponseCache, CanonicalOptionsEscapeStructuralCharacters) {
+  // Without escaping, the parameter *name* "a=1;b" with value 2 would
+  // serialize exactly like the two-parameter map {a: 1, b: 2} — an aliased
+  // cache key. Escaping keeps the grammar unambiguous before the snapshot
+  // format freezes the key encoding (future string ParamValues included).
+  Options crafted;
+  crafted["a=1;b"] = 2;
+  Options plain;
+  plain["a"] = 1;
+  plain["b"] = 2;
+  EXPECT_EQ(canonical_options(plain, false, false), "a=1;b=2;|traffic=0;ratio=0");
+  EXPECT_EQ(canonical_options(crafted, false, false), "a\\=1\\;b=2;|traffic=0;ratio=0");
+  EXPECT_NE(canonical_options(crafted, false, false), canonical_options(plain, false, false));
+
+  Options backslash;
+  backslash["x\\y|z"] = 1;
+  EXPECT_EQ(canonical_options(backslash, false, false),
+            "x\\\\y\\|z=1;|traffic=0;ratio=0");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence (serialize/deserialize); the cross-restart warm-hit
+// story is covered end-to-end in tests/test_server.cpp.
+
+TEST(ResponseCache, SnapshotRoundTripPreservesEntriesAndRecency) {
+  ResponseCache cache(3);
+  for (int tag = 1; tag <= 3; ++tag) cache.insert(key_of(tag), response_of(tag));
+  (void)cache.lookup(key_of(1));  // recency now: 1 (MRU), 3, 2 (LRU)
+
+  std::stringstream snapshot(std::ios::in | std::ios::out | std::ios::binary);
+  cache.serialize(snapshot);
+
+  ResponseCache restored(3);
+  restored.deserialize(snapshot);
+  EXPECT_EQ(restored.stats().size, 3u);
+  for (int tag = 1; tag <= 3; ++tag) {
+    const auto hit = restored.lookup(key_of(tag));
+    ASSERT_TRUE(hit.has_value()) << "tag " << tag;
+    EXPECT_EQ(*hit, response_of(tag));
+  }
+  // Recency survived the round trip: inserting one new entry must evict the
+  // snapshot's LRU entry (2), not 1 or 3. Rebuild to avoid the lookups above.
+  ResponseCache again(3);
+  snapshot.clear();
+  snapshot.seekg(0);
+  again.deserialize(snapshot);
+  again.insert(key_of(99), response_of(99));
+  EXPECT_TRUE(again.lookup(key_of(1)).has_value());
+  EXPECT_TRUE(again.lookup(key_of(3)).has_value());
+  EXPECT_FALSE(again.lookup(key_of(2)).has_value());
+}
+
+TEST(ResponseCache, SnapshotPreservesFullResponsePayload) {
+  // Exercise every serialized field, including diagnostics and ratio.
+  Response r;
+  r.solver = "algorithm1";
+  r.problem = Problem::Mds;
+  r.solution = {1, 4, 7};
+  r.valid = true;
+  r.ratio = {3, 2, true, 1.5};
+  r.ratio_measured = true;
+  r.diag.rounds = 9;
+  r.diag.traffic = {9, 1234, 56789};
+  r.diag.traffic_measured = true;
+  r.diag.twin_classes = 4;
+  r.diag.one_cuts = {2, 3};
+  r.diag.two_cut_vertices = {5};
+  r.diag.brute_forced = {6, 7, 8};
+  r.diag.residual_components = 2;
+  r.diag.max_residual_diameter = 11;
+
+  ResponseCache cache(4);
+  cache.insert(key_of(42), r);
+  std::stringstream snapshot(std::ios::in | std::ios::out | std::ios::binary);
+  cache.serialize(snapshot);
+  ResponseCache restored(4);
+  restored.deserialize(snapshot);
+  const auto hit = restored.lookup(key_of(42));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, r);  // field-wise, the determinism operator
+}
+
+TEST(ResponseCache, SnapshotClampsToCapacityKeepingMostRecent) {
+  ResponseCache big(8);
+  for (int tag = 0; tag < 8; ++tag) big.insert(key_of(tag), response_of(tag));
+  std::stringstream snapshot(std::ios::in | std::ios::out | std::ios::binary);
+  big.serialize(snapshot);
+
+  ResponseCache small(3);
+  small.deserialize(snapshot);
+  const CacheStats stats = small.stats();
+  EXPECT_EQ(stats.size, 3u);
+  EXPECT_EQ(stats.evictions, 0u);  // clamping a snapshot is not an eviction
+  EXPECT_TRUE(small.lookup(key_of(7)).has_value());
+  EXPECT_TRUE(small.lookup(key_of(6)).has_value());
+  EXPECT_TRUE(small.lookup(key_of(5)).has_value());
+  EXPECT_FALSE(small.lookup(key_of(4)).has_value());
+}
+
+TEST(ResponseCache, RejectsCorruptAndTruncatedSnapshots) {
+  ResponseCache cache(4);
+  for (int tag = 0; tag < 4; ++tag) cache.insert(key_of(tag), response_of(tag));
+  std::stringstream snapshot(std::ios::in | std::ios::out | std::ios::binary);
+  cache.serialize(snapshot);
+  const std::string bytes = snapshot.str();
+
+  ResponseCache target(4);
+  target.insert(key_of(100), response_of(100));
+
+  std::stringstream bad_magic(std::string("XXXXXXXX") + bytes.substr(8),
+                              std::ios::in | std::ios::binary);
+  EXPECT_THROW(target.deserialize(bad_magic), std::runtime_error);
+
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{7}, std::size_t{20},
+                                bytes.size() / 2, bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, cut), std::ios::in | std::ios::binary);
+    EXPECT_THROW(target.deserialize(truncated), std::runtime_error) << "cut at " << cut;
+  }
+
+  // Every failed load left the target untouched.
+  EXPECT_EQ(target.stats().size, 1u);
+  EXPECT_TRUE(target.lookup(key_of(100)).has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -318,6 +446,41 @@ TEST(BatchExecutor, SolverExceptionPropagatesAndAbortsBatch) {
   EXPECT_THROW((void)executor.run_batch("boom", span_of(graphs), req), std::runtime_error);
 }
 
+TEST(BatchExecutor, ThrowingSolveDoesNotCountAMiss) {
+  // Regression: the miss used to be counted between the failed lookup and
+  // the compute, so a throwing solve left hits + misses ahead of the work
+  // that actually completed. Misses now track completed compute+insert.
+  Registry reg;
+  reg.add({.name = "boom", .problem = Problem::Mds, .summary = "throws on cycles", .params = {}},
+          [](const SolveContext& ctx) {
+            if (ctx.graph.num_edges() == ctx.graph.num_vertices()) {
+              throw std::runtime_error("boom");
+            }
+            SolverOutput out;
+            for (Vertex v = 0; v < ctx.graph.num_vertices(); ++v) out.solution.push_back(v);
+            return out;
+          });
+
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 3; ++i) graphs.push_back(graph::gen::path(4 + i));
+  graphs.push_back(graph::gen::cycle(5));  // poisoned: solve throws here
+  graphs.push_back(graph::gen::path(9));
+
+  BatchOptions opts;
+  opts.threads = 1;  // deterministic progress: graphs run in index order
+  opts.shard_size = 1;
+  opts.cache_capacity = 16;
+  BatchExecutor executor(opts, reg);
+  EXPECT_THROW((void)executor.run_batch("boom", span_of(graphs), Request{}),
+               std::runtime_error);
+
+  const CacheStats stats = executor.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u) << "only the three completed graphs may count";
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(stats.size))
+      << "every counted miss corresponds to an inserted Response";
+}
+
 TEST(BatchExecutor, ValidatesRequestBeforeSpawning) {
   const auto graphs = generator_suite();
   BatchOptions opts;
@@ -419,6 +582,36 @@ TEST(ParamValue, RegistryCoercesAndRejectsByDeclaredType) {
   EXPECT_EQ(resolved.find("count")->second, ParamValue(3));
   EXPECT_EQ(resolved.find("enabled")->second, ParamValue(true));
   EXPECT_EQ(resolved.find("alpha")->second, ParamValue(0.5));
+}
+
+TEST(ParamValue, ParseParamValueAcceptsWellFormedSpellings) {
+  using T = ParamValue::Type;
+  EXPECT_EQ(parse_param_value("5", T::Int), ParamValue(5));
+  EXPECT_EQ(parse_param_value("-3", T::Int), ParamValue(-3));
+  EXPECT_EQ(parse_param_value("2147483647", T::Int), ParamValue(2147483647));
+  EXPECT_EQ(parse_param_value("true", T::Bool), ParamValue(true));
+  EXPECT_EQ(parse_param_value("false", T::Bool), ParamValue(false));
+  // Integer spellings of a bool stay Int; the registry's coercion decides.
+  EXPECT_EQ(parse_param_value("1", T::Bool), ParamValue(1));
+  EXPECT_EQ(parse_param_value("0.25", T::Double), ParamValue(0.25));
+  EXPECT_EQ(parse_param_value("1e-3", T::Double), ParamValue(0.001));
+  EXPECT_EQ(parse_param_value("7", T::Double), ParamValue(7.0));
+}
+
+TEST(ParamValue, ParseParamValueRejectsMalformedAndOutOfRange) {
+  using T = ParamValue::Type;
+  // The mds_cli regression: out-of-range ints must not silently wrap.
+  EXPECT_FALSE(parse_param_value("99999999999", T::Int).has_value());
+  EXPECT_FALSE(parse_param_value("-99999999999", T::Int).has_value());
+  EXPECT_FALSE(parse_param_value("2147483648", T::Int).has_value());
+  for (const char* bad : {"", "5x", "x5", "graph.txt", "2.5", "--quiet", " 5", "5 "}) {
+    EXPECT_FALSE(parse_param_value(bad, T::Int).has_value()) << "accepted: " << bad;
+  }
+  for (const char* bad : {"", "0.25.5", "1e", "inf", "-inf", "nan", "0,5"}) {
+    EXPECT_FALSE(parse_param_value(bad, T::Double).has_value()) << "accepted: " << bad;
+  }
+  EXPECT_FALSE(parse_param_value("yes", T::Bool).has_value());
+  EXPECT_FALSE(parse_param_value("TRUE", T::Bool).has_value());
 }
 
 TEST(ParamValue, BuiltinTwinRemovalIsBoolTyped) {

@@ -1,0 +1,457 @@
+// Tests for the serving subsystem: the minimal JSON layer, protocol
+// decode/encode (graph decode, solve requests, error classes), the Server's
+// socket-free handle_line() core (round-trips, malformed-request rejection,
+// admin verbs, cache snapshot save/load/warm-hit) and one real TCP
+// round-trip over the loopback interface.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "graph/generators.hpp"
+#include "server/json.hpp"
+#include "server/net.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+namespace lmds::server {
+namespace {
+
+using graph::Graph;
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+// ---------------------------------------------------------------------------
+// JSON layer
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const JsonValue v = json_parse(
+      R"({"a": 1, "b": -2.5, "c": true, "d": null, "e": [1, 2, 3], "f": {"g": "hi"}})");
+  EXPECT_EQ(v.find("a")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.find("b")->as_double(), -2.5);
+  EXPECT_TRUE(v.find("c")->as_bool());
+  EXPECT_TRUE(v.find("d")->is_null());
+  EXPECT_EQ(v.find("e")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("e")->as_array()[2].as_int(), 3);
+  EXPECT_EQ(v.find("f")->find("g")->as_string(), "hi");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, IntAndDoubleStayDistinct) {
+  EXPECT_EQ(json_parse("5").as_int(), 5);
+  EXPECT_EQ(json_parse("5.0").type(), JsonValue::Type::Double);
+  EXPECT_THROW((void)json_parse("5.5").as_int(), JsonError);  // never truncates
+  EXPECT_DOUBLE_EQ(json_parse("5").as_double(), 5.0);         // int promotes
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string original = "tab\t quote\" backslash\\ newline\n unicode \xC3\xA9";
+  std::string encoded;
+  json_append_string(encoded, original);
+  EXPECT_EQ(json_parse(encoded).as_string(), original);
+  EXPECT_EQ(json_parse(R"("é")").as_string(), "\xC3\xA9");
+  EXPECT_EQ(json_parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1, 2", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+                          "\"unterminated", "\"bad \\x escape\"", "nan", "--1",
+                          "{\"a\":1,}"}) {
+    EXPECT_THROW((void)json_parse(bad), JsonError) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  EXPECT_THROW((void)json_parse(deep), JsonError);
+}
+
+TEST(Json, DoubleEmissionIsLocaleIndependent) {
+  std::string out;
+  json_append_double(out, 0.125);
+  EXPECT_EQ(out, "0.125");  // always '.', never a locale decimal comma
+}
+
+// ---------------------------------------------------------------------------
+// Graph decode
+
+TEST(Protocol, DecodesEdgeListGraph) {
+  const ServerLimits limits;
+  const Graph g =
+      decode_graph(json_parse(R"({"n": 4, "edges": [[0,1],[1,2],[2,3]]})"), limits);
+  EXPECT_EQ(g, graph::gen::path(4));
+}
+
+TEST(Protocol, DerivesVertexCountWhenAbsent) {
+  const ServerLimits limits;
+  const Graph g = decode_graph(json_parse(R"({"edges": [[0,1],[1,2]]})"), limits);
+  EXPECT_EQ(g.num_vertices(), 3);
+  // And "n" can allocate isolated trailing vertices.
+  const Graph iso = decode_graph(json_parse(R"({"n": 5, "edges": [[0,1]]})"), limits);
+  EXPECT_EQ(iso.num_vertices(), 5);
+  EXPECT_EQ(iso.num_edges(), 1);
+}
+
+TEST(Protocol, RejectsMalformedGraphs) {
+  const ServerLimits limits;
+  for (const char* bad : {
+           R"({"edges": [[0,0]]})",            // self-loop
+           R"({"n": 2, "edges": [[0,5]]})",    // endpoint outside [0, n)
+           R"({"n": -1, "edges": []})",        // negative n
+           R"({"edges": [[0,-1]]})",           // negative endpoint
+           R"({"edges": [[0]]})",              // not a pair
+           R"({"edges": [[0,1,2]]})",          // not a pair
+           R"({"edges": 7})",                  // edges not an array
+           R"({"n": 3})",                      // no edges field
+           R"([1,2,3])",                       // graph not an object
+           R"({"edges": [[0, 1.5]]})",         // non-integer endpoint
+       }) {
+    EXPECT_THROW((void)decode_graph(json_parse(bad), limits), ProtocolError)
+        << "accepted: " << bad;
+  }
+}
+
+TEST(Protocol, RejectsOversizedGraph) {
+  ServerLimits limits;
+  limits.max_graph_vertices = 10;
+  EXPECT_THROW((void)decode_graph(json_parse(R"({"n": 11, "edges": []})"), limits),
+               ProtocolError);
+  EXPECT_THROW((void)decode_graph(json_parse(R"({"edges": [[0, 10]]})"), limits),
+               ProtocolError);
+  EXPECT_NO_THROW((void)decode_graph(json_parse(R"({"n": 10, "edges": []})"), limits));
+}
+
+// ---------------------------------------------------------------------------
+// handle_line: solve round-trips and error classes (no sockets involved)
+
+std::string graphs_json(const std::vector<Graph>& gs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"n\":" + std::to_string(gs[i].num_vertices()) + ",\"edges\":[";
+    bool first = true;
+    for (const auto& [u, v] : gs[i].edges()) {
+      if (!first) out += ',';
+      first = false;
+      out += '[' + std::to_string(u) + ',' + std::to_string(v) + ']';
+    }
+    out += "]}";
+  }
+  return out + "]";
+}
+
+std::vector<Graph> suite() {
+  std::vector<Graph> gs;
+  gs.push_back(graph::gen::path(8));
+  gs.push_back(graph::gen::cycle(7));
+  gs.push_back(graph::gen::grid(3, 4));
+  gs.push_back(graph::gen::theta_chain(4, 3));
+  return gs;
+}
+
+ServerOptions test_options(std::size_t cache_capacity = 64) {
+  ServerOptions opts;
+  opts.batch.threads = 2;
+  opts.batch.shard_size = 1;
+  opts.batch.cache_capacity = cache_capacity;
+  opts.snapshot_dir = testing::TempDir();  // client snapshot verbs resolve here
+  return opts;
+}
+
+const std::string kErr = "\"ok\":false";
+
+TEST(ServerCore, SolveRoundTripMatchesDirectRegistry) {
+  Server server(test_options());
+  const std::vector<Graph> gs = suite();
+  const std::string line = "{\"op\":\"solve\",\"solver\":\"theorem44\",\"measure_ratio\":true,"
+                           "\"graphs\":" + graphs_json(gs) + "}";
+  const JsonValue response = json_parse(server.handle_line(line));
+  ASSERT_TRUE(response.find("ok")->as_bool()) << server.handle_line(line);
+
+  api::Request req;
+  req.measure_ratio = true;
+  const auto direct = api::Registry::instance().run_batch("theorem44",
+                                                          {gs.data(), gs.size()}, req);
+  const auto& responses = response.find("responses")->as_array();
+  ASSERT_EQ(responses.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_TRUE(responses[i].find("valid")->as_bool());
+    EXPECT_EQ(responses[i].find("solver")->as_string(), "theorem44");
+    EXPECT_EQ(responses[i].find("problem")->as_string(), "mds");
+    const auto& solution = responses[i].find("solution")->as_array();
+    ASSERT_EQ(solution.size(), direct[i].solution.size());
+    for (std::size_t j = 0; j < solution.size(); ++j) {
+      EXPECT_EQ(solution[j].as_int(), direct[i].solution[j]);
+    }
+    EXPECT_EQ(responses[i].find("ratio")->find("solution_size")->as_int(),
+              direct[i].ratio.solution_size);
+  }
+  const JsonValue* diag = response.find("diag");
+  EXPECT_EQ(diag->find("cache_misses")->as_int(),
+            static_cast<std::int64_t>(gs.size()));
+}
+
+TEST(ServerCore, SecondIdenticalSolveIsAllCacheHits) {
+  Server server(test_options());
+  const std::string line = "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":" +
+                           graphs_json(suite()) + "}";
+  (void)server.handle_line(line);
+  const JsonValue warm = json_parse(server.handle_line(line));
+  EXPECT_EQ(warm.find("diag")->find("cache_hits")->as_int(),
+            static_cast<std::int64_t>(suite().size()));
+  EXPECT_EQ(warm.find("diag")->find("cache_misses")->as_int(), 0);
+}
+
+TEST(ServerCore, EmptyBatchIsValidAndEmpty) {
+  Server server(test_options());
+  const JsonValue response = json_parse(
+      server.handle_line(R"({"op":"solve","solver":"greedy","graphs":[]})"));
+  EXPECT_TRUE(response.find("ok")->as_bool());
+  EXPECT_TRUE(response.find("responses")->as_array().empty());
+}
+
+TEST(ServerCore, ErrorClassesAreDistinguished) {
+  ServerOptions opts = test_options();
+  opts.limits.max_graph_vertices = 10;
+  opts.limits.max_batch_graphs = 2;
+  Server server(opts);
+
+  struct Case {
+    const char* line;
+    const char* code;
+  };
+  const Case cases[] = {
+      // Truncated line (as the connection loop would hand it over).
+      {R"({"op":"solve","solver":"greedy")", "bad_request"},
+      {"not json at all", "bad_request"},
+      {R"({"solver":"greedy","graphs":[]})", "bad_request"},  // no op
+      {R"({"op":"frobnicate"})", "bad_request"},
+      {R"({"op":"solve","solver":"no-such-solver","graphs":[]})", "unknown_solver"},
+      {R"({"op":"solve","solver":"greedy"})", "bad_request"},  // no graphs
+      {R"({"op":"solve","solver":"greedy","graphs":[{"edges":[[0,0]]}]})", "bad_request"},
+      // Undeclared option: registry-level RequestError -> bad_request.
+      {R"({"op":"solve","solver":"greedy","options":{"bogus":1},"graphs":[]})",
+       "bad_request"},
+      // Option with a non-scalar value.
+      {R"({"op":"solve","solver":"greedy","options":{"t":[1]},"graphs":[]})",
+       "bad_request"},
+      // measure_traffic on a centralized-only solver.
+      {R"({"op":"solve","solver":"greedy","measure_traffic":true,"graphs":[]})",
+       "bad_request"},
+      // Oversized graph and oversized batch.
+      {R"({"op":"solve","solver":"greedy","graphs":[{"n":11,"edges":[]}]})",
+       "bad_request"},
+      {R"({"op":"solve","solver":"greedy","graphs":[{"edges":[]},{"edges":[]},{"edges":[]}]})",
+       "bad_request"},
+      {R"({"op":"save_cache"})", "bad_request"},  // no path
+      // Confinement: clients name snapshots, never filesystem locations.
+      {R"({"op":"save_cache","path":"/etc/passwd"})", "bad_request"},
+      {R"({"op":"load_cache","path":"../../outside.bin"})", "bad_request"},
+      {R"({"op":"save_cache","path":""})", "bad_request"},
+      {R"({"op":"load_cache","path":"nonexistent_subdir/snap.bin"})", "io_error"},
+  };
+  for (const Case& c : cases) {
+    const JsonValue response = json_parse(server.handle_line(c.line));
+    EXPECT_FALSE(response.find("ok")->as_bool()) << c.line;
+    EXPECT_EQ(response.find("code")->as_string(), c.code) << c.line;
+    EXPECT_FALSE(response.find("error")->as_string().empty()) << c.line;
+  }
+  EXPECT_FALSE(server.stopping()) << "error handling must not stop the server";
+}
+
+TEST(ServerCore, SolversVerbEnumeratesRegistry) {
+  Server server(test_options());
+  const JsonValue response = json_parse(server.handle_line(R"({"op":"solvers"})"));
+  ASSERT_TRUE(response.find("ok")->as_bool());
+  const auto& solvers = response.find("solvers")->as_array();
+  EXPECT_EQ(solvers.size(), api::Registry::instance().specs().size());
+  bool saw_algorithm1 = false;
+  for (const auto& s : solvers) {
+    if (s.find("name")->as_string() == "algorithm1") {
+      saw_algorithm1 = true;
+      bool saw_t = false;
+      for (const auto& p : s.find("params")->as_array()) {
+        if (p.find("name")->as_string() == "t") {
+          saw_t = true;
+          EXPECT_EQ(p.find("type")->as_string(), "int");
+          EXPECT_EQ(p.find("default")->as_int(), 5);
+        }
+      }
+      EXPECT_TRUE(saw_t);
+    }
+  }
+  EXPECT_TRUE(saw_algorithm1);
+}
+
+TEST(ServerCore, StatsVerbCountsWork) {
+  Server server(test_options());
+  (void)server.handle_line("{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":" +
+                           graphs_json(suite()) + "}");
+  const JsonValue stats = json_parse(server.handle_line(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.find("ok")->as_bool());
+  EXPECT_EQ(stats.find("server")->find("graphs_solved")->as_int(),
+            static_cast<std::int64_t>(suite().size()));
+  EXPECT_EQ(stats.find("server")->find("requests")->as_int(), 2);
+  EXPECT_EQ(stats.find("cache")->find("misses")->as_int(),
+            static_cast<std::int64_t>(suite().size()));
+}
+
+TEST(ServerCore, ShutdownVerbStops) {
+  Server server(test_options());
+  const JsonValue response = json_parse(server.handle_line(R"({"op":"shutdown"})"));
+  EXPECT_TRUE(response.find("ok")->as_bool());
+  EXPECT_TRUE(server.stopping());
+}
+
+// ---------------------------------------------------------------------------
+// Cache snapshot persistence: the restart story
+
+TEST(ServerCore, SnapshotSaveLoadWarmHitAcrossServerInstances) {
+  // The verb takes a name relative to the server's snapshot_dir (TempDir
+  // in test_options); temp_path() is where it lands on disk.
+  const std::string path = "lmds_server_snapshot.bin";
+  const std::string solve_line = "{\"op\":\"solve\",\"solver\":\"algorithm1\","
+                                 "\"measure_ratio\":true,\"graphs\":" +
+                                 graphs_json(suite()) + "}";
+  // The encoded "responses" payload (everything before the diag member,
+  // which legitimately differs between a cold and a warm run).
+  const auto payload_of = [](const std::string& line) {
+    return line.substr(0, line.find("\"diag\""));
+  };
+  std::string cold_payload;
+  {
+    Server first(test_options());
+    const std::string cold_line = first.handle_line(solve_line);
+    cold_payload = payload_of(cold_line);
+    const JsonValue cold = json_parse(cold_line);
+    ASSERT_TRUE(cold.find("ok")->as_bool());
+    EXPECT_EQ(cold.find("diag")->find("cache_hits")->as_int(), 0);
+    const JsonValue saved = json_parse(
+        first.handle_line("{\"op\":\"save_cache\",\"path\":\"" + path + "\"}"));
+    ASSERT_TRUE(saved.find("ok")->as_bool());
+    EXPECT_EQ(saved.find("entries")->as_int(), static_cast<std::int64_t>(suite().size()));
+  }
+  {
+    // A brand-new server (fresh executor, empty cache) warms from the file
+    // and answers the replayed batch from cache, byte-identically.
+    Server second(test_options());
+    const JsonValue loaded = json_parse(
+        second.handle_line("{\"op\":\"load_cache\",\"path\":\"" + path + "\"}"));
+    ASSERT_TRUE(loaded.find("ok")->as_bool());
+    const std::string warm_line = second.handle_line(solve_line);
+    const JsonValue warm = json_parse(warm_line);
+    ASSERT_TRUE(warm.find("ok")->as_bool());
+    EXPECT_EQ(warm.find("diag")->find("cache_hits")->as_int(),
+              static_cast<std::int64_t>(suite().size()));
+    EXPECT_EQ(warm.find("diag")->find("cache_misses")->as_int(), 0);
+    EXPECT_EQ(payload_of(warm_line), cold_payload);
+  }
+  std::remove(temp_path(path).c_str());
+}
+
+TEST(ServerCore, SnapshotVerbsDisabledWithoutSnapshotDir) {
+  ServerOptions opts = test_options();
+  opts.snapshot_dir.clear();
+  Server server(opts);
+  const JsonValue response = json_parse(
+      server.handle_line(R"({"op":"save_cache","path":"x.bin"})"));
+  EXPECT_FALSE(response.find("ok")->as_bool());
+  EXPECT_EQ(response.find("code")->as_string(), "bad_request");
+}
+
+TEST(ServerCore, CorruptSnapshotIsRejectedWithoutClearingCache) {
+  const std::string path = "lmds_server_corrupt.bin";
+  {
+    std::ofstream out(temp_path(path), std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  Server server(test_options());
+  (void)server.handle_line("{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":" +
+                           graphs_json(suite()) + "}");
+  const JsonValue response = json_parse(
+      server.handle_line("{\"op\":\"load_cache\",\"path\":\"" + path + "\"}"));
+  EXPECT_FALSE(response.find("ok")->as_bool());
+  EXPECT_EQ(response.find("code")->as_string(), "io_error");
+  // The live cache survived the failed load: the replay still hits.
+  const JsonValue warm = json_parse(
+      server.handle_line("{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":" +
+                         graphs_json(suite()) + "}"));
+  EXPECT_EQ(warm.find("diag")->find("cache_hits")->as_int(),
+            static_cast<std::int64_t>(suite().size()));
+  std::remove(temp_path(path).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Real TCP round-trip over loopback
+
+TEST(ServerSocket, EndToEndSolveAndShutdown) {
+  ServerOptions opts = test_options();
+  opts.port = 0;  // ephemeral
+  Server server(opts);
+  server.bind_and_listen();
+  ASSERT_GT(server.port(), 0);
+  std::thread serving([&] { server.serve(); });
+
+  const int fd = tcp_connect("127.0.0.1", server.port());
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  const auto exchange = [&](const std::string& line) {
+    EXPECT_TRUE(send_all(fd, line + "\n"));
+    const auto response = reader.next_line(1u << 20);
+    EXPECT_TRUE(response.has_value());
+    return json_parse(response.value_or("null"));
+  };
+
+  const JsonValue solvers = exchange(R"({"op":"solvers"})");
+  EXPECT_TRUE(solvers.find("ok")->as_bool());
+
+  const JsonValue solved = exchange("{\"op\":\"solve\",\"solver\":\"theorem44\",\"graphs\":" +
+                                    graphs_json(suite()) + "}");
+  ASSERT_TRUE(solved.find("ok")->as_bool());
+  EXPECT_EQ(solved.find("responses")->as_array().size(), suite().size());
+
+  const JsonValue bad = exchange(R"({"op":"solve","solver":"nope","graphs":[]})");
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  EXPECT_EQ(bad.find("code")->as_string(), "unknown_solver");
+
+  const JsonValue down = exchange(R"({"op":"shutdown"})");
+  EXPECT_TRUE(down.find("ok")->as_bool());
+  serving.join();
+  close_fd(fd);
+  EXPECT_EQ(server.counters().connections, 1u);
+}
+
+TEST(ServerSocket, OversizedLineIsRejectedAndConnectionDropped) {
+  ServerOptions opts = test_options();
+  opts.port = 0;
+  opts.limits.max_line_bytes = 256;
+  Server server(opts);
+  server.bind_and_listen();
+  std::thread serving([&] { server.serve(); });
+
+  const int fd = tcp_connect("127.0.0.1", server.port());
+  ASSERT_GE(fd, 0);
+  const std::string huge(4096, 'x');  // no newline within the limit
+  EXPECT_TRUE(send_all(fd, huge));
+  LineReader reader(fd);
+  const auto response = reader.next_line(1u << 20);
+  ASSERT_TRUE(response.has_value());
+  const JsonValue parsed = json_parse(*response);
+  EXPECT_FALSE(parsed.find("ok")->as_bool());
+  EXPECT_EQ(parsed.find("code")->as_string(), "bad_request");
+  // The server dropped the connection after reporting.
+  EXPECT_FALSE(reader.next_line(1u << 20).has_value());
+  close_fd(fd);
+
+  server.request_stop();
+  serving.join();
+}
+
+}  // namespace
+}  // namespace lmds::server
