@@ -1,0 +1,152 @@
+// E12 — protocol v2 serving throughput: repeated solve-by-handle vs
+// re-sending the edge list on every request, measured end-to-end through
+// the socket-free Session core (JSON parse -> decode/handle resolve ->
+// executor -> response encode), which is exactly what both transports run
+// per request. The workload is the issue's motivating shape — many queries
+// over one large graph: a 10k-vertex grid solved repeatedly with a warm
+// response cache, so the measured difference is pure request-path overhead
+// (parsing and decoding a ~200KB edge list vs resolving a 17-byte handle).
+//
+//   $ ./bench_serve_v2 [--vertices N] [--iters N] [--check] [--json FILE]
+//
+// --check exits 1 unless solve-by-handle is at least 2x the inline-edge
+// throughput — the regression gate CI runs (acceptance criterion of the
+// protocol-v2 redesign). --json writes the measurements for the BENCH_*
+// artifact trail.
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "server/json.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace lmds;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::string json_num(double v, int precision) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, precision);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int vertices = 10'000;
+  int iters = 40;
+  bool check = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--vertices") && i + 1 < argc) {
+      vertices = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--iters") && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--check")) {
+      check = true;
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_v2 [--vertices N] [--iters N] [--check] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (vertices < 4) vertices = 4;
+  if (iters < 1) iters = 1;
+
+  // A square-ish grid with ~`vertices` vertices: large, planar (excluded-
+  // minor family), cheap enough per solve that request overhead dominates.
+  int side = 1;
+  while ((side + 1) * (side + 1) <= vertices) ++side;
+  const graph::Graph g = graph::gen::grid(side, side);
+
+  server::ServerOptions opts;
+  opts.core.batch.threads = 1;
+  opts.core.batch.cache_capacity = 64;
+  opts.core.snapshot_dir.clear();
+  server::Server server(opts);
+
+  const std::string graph_json = server::encode_graph_json(g);
+  const std::string inline_line =
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":[" + graph_json + "]}";
+
+  // Upload once; solve by handle from then on.
+  const server::JsonValue put =
+      server::json_parse(server.handle_line("{\"op\":\"put_graph\",\"graph\":" + graph_json + "}"));
+  if (!put.find("ok")->as_bool()) {
+    std::fprintf(stderr, "put_graph failed\n");
+    return 1;
+  }
+  const std::string handle = put.find("handle")->as_string();
+  const std::string handle_line =
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":[\"" + handle + "\"]}";
+
+  // Warm the response cache through both spellings (same cache key), then
+  // measure: every timed request is a cache hit, so the difference is the
+  // request path itself.
+  (void)server.handle_line(inline_line);
+  (void)server.handle_line(handle_line);
+
+  const auto time_line = [&](const std::string& line) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      const std::string response = server.handle_line(line);
+      if (response.find("\"ok\":true") == std::string::npos) {
+        std::fprintf(stderr, "solve failed: %s\n", response.substr(0, 200).c_str());
+        std::exit(1);
+      }
+    }
+    return seconds_since(start);
+  };
+
+  const double inline_secs = time_line(inline_line);
+  const double handle_secs = time_line(handle_line);
+  const double inline_rate = iters / inline_secs;
+  const double handle_rate = iters / handle_secs;
+  const double speedup = handle_rate / inline_rate;
+
+  std::printf("Serve v2 — %d-vertex grid (%d edges), %d warm solves per path\n\n",
+              g.num_vertices(), g.num_edges(), iters);
+  std::printf("%-22s %10s %14s %14s\n", "request path", "seconds", "req/sec", "bytes/req");
+  std::printf("%s\n", std::string(64, '-').c_str());
+  std::printf("%-22s %10.4f %14.1f %14zu\n", "inline edge list (v1)", inline_secs, inline_rate,
+              inline_line.size());
+  std::printf("%-22s %10.4f %14.1f %14zu\n", "graph handle (v2)", handle_secs, handle_rate,
+              handle_line.size());
+  std::printf("\nsolve-by-handle speedup: %.1fx (wire bytes shrink %zux)\n", speedup,
+              inline_line.size() / handle_line.size());
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"serve_v2\",\n  \"vertices\": %d,\n  \"iters\": %d,\n"
+                 "  \"inline_req_per_sec\": %s,\n  \"handle_req_per_sec\": %s,\n"
+                 "  \"handle_speedup\": %s\n}\n",
+                 g.num_vertices(), iters, json_num(inline_rate, 2).c_str(),
+                 json_num(handle_rate, 2).c_str(), json_num(speedup, 3).c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (check && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "REGRESSION: solve-by-handle is only %.2fx inline throughput (need >= 2x)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

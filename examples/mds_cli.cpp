@@ -51,6 +51,10 @@ int usage() {
                  spec->supports(lmds::api::Mode::Local) ? ", local" : "",
                  spec->summary.c_str(), params.c_str());
   }
+  std::fprintf(stderr,
+               "For repeated solves over the same graphs, use the serving front-end\n"
+               "instead: lmds_serve (TCP line protocol + HTTP /v2, graph handles,\n"
+               "response cache) driven by serve_client — see README.md \"Serving\".\n");
   return kExitUsage;
 }
 

@@ -1,22 +1,33 @@
-// serve_client — protocol driver for lmds_serve. Connects over TCP, sends
-// newline-delimited JSON requests, prints one summary line per response.
+// serve_client — protocol driver for lmds_serve, speaking either transport:
+// the newline-delimited JSON/TCP line protocol (default) or, with --http,
+// the HTTP/1.1 front-end — same verbs, same response bodies.
+//
 // The --demo flow is the CI smoke test: a mixed-solver batch (three solvers
 // over the same generated graph set), a stats probe, and optional cache
 // snapshot verbs, so one client invocation exercises solve + admin paths
-// end-to-end.
+// end-to-end. The --handles flow is the protocol-v2 smoke: put_graph each
+// demo graph once, solve by handle, then solve by handle again — the repeat
+// must be all cache hits.
 //
 //   $ ./serve_client --port 7411 --demo --save cache.lmds --shutdown
 //   $ ./serve_client --port 7411 --demo --expect-hits       # warm restart
+//   $ ./serve_client --port 7412 --http --handles --expect-hits --shutdown
 //
-// --expect-hits makes the run fail (exit 3) unless the demo batches hit the
-// server's response cache at least once — the assertion behind "a restarted
-// server with a snapshot answers replayed batches from cache".
+// --expect-hits makes the run fail (exit 3) unless the demo/handles batches
+// hit the server's response cache at least once — the assertion behind "a
+// restarted server with a snapshot answers replayed batches from cache" and
+// "a handle upload makes the repeat solve free".
+//
+// --namespace NS runs every request in cache namespace NS (open_session on
+// the line protocol, the X-Lmds-Namespace header over HTTP).
 //
 // Exit codes: 0 success; 1 connection/protocol failure; 2 usage;
 //             3 --expect-hits saw zero cache hits.
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -26,6 +37,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "server/json.hpp"
+#include "server/protocol.hpp"
 #include "server/net.hpp"
 
 namespace {
@@ -34,22 +46,110 @@ using namespace lmds;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: serve_client [--host H] --port P [--demo] [--expect-hits]\n"
+               "usage: serve_client [--host H] --port P [--http] [--namespace NS]\n"
+               "                    [--demo] [--handles] [--expect-hits]\n"
                "                    [--solvers] [--stats] [--save FILE] [--load FILE]\n"
                "                    [--send JSON_LINE] [--shutdown]\n"
-               "Actions run in the order listed above; --send may repeat.\n");
+               "Actions run in the order listed above; --send may repeat.\n"
+               "--http speaks the HTTP front-end (lmds_serve --http-port);\n"
+               "--save/--load/--send are line-protocol only.\n");
   return 2;
 }
 
-// One request/response exchange; returns the parsed response object.
-server::JsonValue exchange(int fd, server::LineReader& reader, const std::string& line) {
-  if (!server::send_all(fd, line + "\n")) {
-    throw std::runtime_error("send failed (server closed the connection?)");
+// One client connection, abstracting the two transports behind "send this
+// verb with these JSON object members, give me the parsed response body".
+class Client {
+ public:
+  Client(int fd, bool http, std::string ns)
+      : fd_(fd), reader_(fd), http_(http), ns_(std::move(ns)) {}
+
+  bool http() const { return http_; }
+
+  // `members` are the request-object members without the op, e.g.
+  // "\"solver\":\"greedy\",\"graphs\":[...]" (empty for admin verbs).
+  server::JsonValue exchange(const std::string& op, const std::string& members) {
+    if (!http_) {
+      std::string line = "{\"op\":\"" + op + "\"";
+      if (!members.empty()) line += "," + members;
+      line += "}";
+      return exchange_line(line);
+    }
+    // HTTP: the verb moves into the route.
+    if (op == "solve") return exchange_http("POST", "/v2/solve", "{" + members + "}");
+    if (op == "solvers") return exchange_http("GET", "/v2/solvers", "");
+    if (op == "stats") return exchange_http("GET", "/v2/stats", "");
+    if (op == "shutdown") return exchange_http("POST", "/v2/shutdown", "");
+    throw std::runtime_error("op '" + op + "' has no HTTP route in this client");
   }
-  const auto response = reader.next_line(64u << 20);
-  if (!response) throw std::runtime_error("server closed the connection mid-exchange");
-  return server::json_parse(*response);
-}
+
+  server::JsonValue put_graph(const std::string& graph_json) {
+    if (http_) return exchange_http("PUT", "/v2/graphs", graph_json);
+    return exchange_line("{\"op\":\"put_graph\",\"graph\":" + graph_json + "}");
+  }
+
+  server::JsonValue drop_graph(const std::string& handle) {
+    if (http_) return exchange_http("DELETE", "/v2/graphs/" + handle, "");
+    return exchange_line("{\"op\":\"drop_graph\",\"handle\":\"" + handle + "\"}");
+  }
+
+  // Line protocol: the session-wide namespace selection. (HTTP carries the
+  // namespace as a header on every request instead.)
+  void open_session() {
+    if (http_ || ns_.empty()) return;
+    std::string line = "{\"op\":\"open_session\",\"namespace\":";
+    server::json_append_string(line, ns_);
+    line += "}";
+    const auto response = exchange_line(line);
+    const server::JsonValue* ok = response.find("ok");
+    if (!ok || !ok->as_bool()) throw std::runtime_error("open_session failed");
+  }
+
+  server::JsonValue exchange_line(const std::string& line) {
+    if (!server::send_all(fd_, line + "\n")) {
+      throw std::runtime_error("send failed (server closed the connection?)");
+    }
+    const auto response = reader_.next_line(64u << 20);
+    if (!response) throw std::runtime_error("server closed the connection mid-exchange");
+    return server::json_parse(*response);
+  }
+
+ private:
+  server::JsonValue exchange_http(const std::string& method, const std::string& target,
+                                  const std::string& body) {
+    std::string request = method + " " + target + " HTTP/1.1\r\nHost: lmds\r\n";
+    if (!ns_.empty()) request += "X-Lmds-Namespace: " + ns_ + "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+    if (!server::send_all(fd_, request)) {
+      throw std::runtime_error("send failed (server closed the connection?)");
+    }
+    // Status line, headers (only Content-Length matters to us), body.
+    const auto status_line = reader_.next_line(1u << 16);
+    if (!status_line || !status_line->starts_with("HTTP/1.1 ")) {
+      throw std::runtime_error("bad HTTP status line");
+    }
+    std::size_t content_length = 0;
+    while (true) {
+      const auto header = reader_.next_line(1u << 16);
+      if (!header) throw std::runtime_error("connection closed inside HTTP headers");
+      if (header->empty()) break;
+      static constexpr std::string_view kPrefix = "content-length:";
+      std::string lowered = *header;
+      for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (lowered.starts_with(kPrefix)) {
+        content_length = static_cast<std::size_t>(
+            std::strtoull(header->c_str() + kPrefix.size(), nullptr, 10));
+      }
+    }
+    const auto body_bytes = reader_.read_exact(content_length);
+    if (!body_bytes) throw std::runtime_error("connection closed inside HTTP body");
+    return server::json_parse(*body_bytes);
+  }
+
+  int fd_;
+  server::LineReader reader_;
+  bool http_;
+  std::string ns_;
+};
 
 void require_ok(const server::JsonValue& response, const std::string& what) {
   const server::JsonValue* ok = response.find("ok");
@@ -57,18 +157,6 @@ void require_ok(const server::JsonValue& response, const std::string& what) {
   const server::JsonValue* error = response.find("error");
   throw std::runtime_error(what + " failed: " +
                            (error ? error->as_string() : std::string("no error field")));
-}
-
-std::string encode_graph(const graph::Graph& g) {
-  std::string out = "{\"n\":" + std::to_string(g.num_vertices()) + ",\"edges\":[";
-  bool first = true;
-  for (const auto& [u, v] : g.edges()) {
-    if (!first) out += ',';
-    first = false;
-    out += '[' + std::to_string(u) + ',' + std::to_string(v) + ']';
-  }
-  out += "]}";
-  return out;
 }
 
 // The demo workload: small instances from the paper's generator families —
@@ -85,13 +173,48 @@ std::vector<graph::Graph> demo_graphs() {
   return gs;
 }
 
+// The three-solver pass set both --demo and --handles run.
+struct Pass {
+  const char* solver;
+  const char* options;
+};
+constexpr Pass kPasses[] = {
+    {"algorithm1", "{\"t\":5,\"radius1\":4,\"radius2\":4}"},
+    {"theorem44", "{}"},
+    {"greedy", "{}"},
+};
+
+// Runs one solve pass and returns the pass's cache hits.
+unsigned long long run_pass(Client& client, const Pass& pass, const std::string& graphs_json) {
+  const std::string members = std::string("\"solver\":\"") + pass.solver +
+                              "\",\"options\":" + pass.options +
+                              ",\"measure_ratio\":true,\"graphs\":" + graphs_json;
+  const auto response = client.exchange("solve", members);
+  require_ok(response, std::string("solve ") + pass.solver);
+  const auto& responses = response.find("responses")->as_array();
+  std::size_t total_size = 0;
+  for (const auto& r : responses) {
+    if (!r.find("valid")->as_bool()) {
+      throw std::runtime_error(std::string(pass.solver) + " returned invalid solution");
+    }
+    total_size += r.find("solution")->as_array().size();
+  }
+  const server::JsonValue* diag = response.find("diag");
+  const auto hits = static_cast<unsigned long long>(diag->find("cache_hits")->as_int());
+  std::printf("solve %-12s %zu graphs  Σ|S|=%-4zu  hits=%llu misses=%lld\n", pass.solver,
+              responses.size(), total_size, hits,
+              static_cast<long long>(diag->find("cache_misses")->as_int()));
+  return hits;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
-  bool demo = false, expect_hits = false, solvers = false, stats = false, shutdown = false;
-  std::string save_path, load_path;
+  bool http = false, demo = false, handles = false, expect_hits = false;
+  bool solvers = false, stats = false, shutdown = false;
+  std::string ns, save_path, load_path;
   std::vector<std::string> raw_lines;
 
   for (int i = 1; i < argc; ++i) {
@@ -108,8 +231,15 @@ int main(int argc, char** argv) {
       }
       port = p->as_int();
       ++i;
+    } else if (arg == "--http") {
+      http = true;
+    } else if (arg == "--namespace" && value) {
+      ns = value;
+      ++i;
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--handles") {
+      handles = true;
     } else if (arg == "--expect-hits") {
       expect_hits = true;
     } else if (arg == "--solvers") {
@@ -136,6 +266,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "serve_client: --port is required\n");
     return usage();
   }
+  if (http && (!save_path.empty() || !load_path.empty() || !raw_lines.empty())) {
+    std::fprintf(stderr, "serve_client: --save/--load/--send are line-protocol only\n");
+    return usage();
+  }
 
   const int fd = server::tcp_connect(host, port);
   if (fd < 0) {
@@ -143,12 +277,14 @@ int main(int argc, char** argv) {
                  std::strerror(errno));
     return 1;
   }
-  server::LineReader reader(fd);
+  Client client(fd, http, ns);
   unsigned long long total_hits = 0;
 
   try {
+    client.open_session();
+
     if (solvers) {
-      const auto response = exchange(fd, reader, "{\"op\":\"solvers\"}");
+      const auto response = client.exchange("solvers", "");
       require_ok(response, "solvers");
       for (const auto& spec : response.find("solvers")->as_array()) {
         std::printf("solver %-15s %s\n", spec.find("name")->as_string().c_str(),
@@ -156,87 +292,75 @@ int main(int argc, char** argv) {
       }
     }
 
+    const std::vector<graph::Graph> gs =
+        demo || handles ? demo_graphs() : std::vector<graph::Graph>();
+
     if (demo) {
-      const std::vector<graph::Graph> gs = demo_graphs();
       std::string graphs_json = "[";
       for (std::size_t i = 0; i < gs.size(); ++i) {
         if (i) graphs_json += ',';
-        graphs_json += encode_graph(gs[i]);
+        graphs_json += server::encode_graph_json(gs[i]);
       }
       graphs_json += ']';
-
       // One request per solver over the same graphs: a mixed-solver batch
       // from the cache's point of view (distinct key per solver).
-      const struct {
-        const char* solver;
-        const char* options;
-      } passes[] = {
-          {"algorithm1", "{\"t\":5,\"radius1\":4,\"radius2\":4}"},
-          {"theorem44", "{}"},
-          {"greedy", "{}"},
-      };
-      for (const auto& pass : passes) {
-        const std::string line = std::string("{\"op\":\"solve\",\"solver\":\"") +
-                                 pass.solver + "\",\"options\":" + pass.options +
-                                 ",\"measure_ratio\":true,\"graphs\":" + graphs_json + "}";
-        const auto response = exchange(fd, reader, line);
-        require_ok(response, std::string("solve ") + pass.solver);
-        const auto& responses = response.find("responses")->as_array();
-        std::size_t total_size = 0;
-        for (const auto& r : responses) {
-          if (!r.find("valid")->as_bool()) {
-            throw std::runtime_error(std::string(pass.solver) + " returned invalid solution");
-          }
-          total_size += r.find("solution")->as_array().size();
-        }
-        const server::JsonValue* diag = response.find("diag");
-        const auto hits = static_cast<unsigned long long>(diag->find("cache_hits")->as_int());
-        total_hits += hits;
-        std::printf("solve %-12s %zu graphs  Σ|S|=%-4zu  hits=%llu misses=%lld\n",
-                    pass.solver, responses.size(), total_size, hits,
-                    static_cast<long long>(diag->find("cache_misses")->as_int()));
+      for (const Pass& pass : kPasses) total_hits += run_pass(client, pass, graphs_json);
+    }
+
+    if (handles) {
+      // Protocol v2: upload once, solve by handle, repeat — the repeat must
+      // be answered from cache without re-sending a single edge.
+      std::string handles_json = "[";
+      for (std::size_t i = 0; i < gs.size(); ++i) {
+        const auto response = client.put_graph(server::encode_graph_json(gs[i]));
+        require_ok(response, "put_graph");
+        if (i) handles_json += ',';
+        handles_json += '"' + response.find("handle")->as_string() + '"';
       }
+      handles_json += ']';
+      std::printf("put_graph: %zu graphs uploaded\n", gs.size());
+      for (const Pass& pass : kPasses) (void)run_pass(client, pass, handles_json);
+      for (const Pass& pass : kPasses) total_hits += run_pass(client, pass, handles_json);
     }
 
     for (const std::string& line : raw_lines) {
-      const auto response = exchange(fd, reader, line);
+      const auto response = client.exchange_line(line);
       const server::JsonValue* ok = response.find("ok");
       std::printf("send -> ok=%s\n", ok && ok->as_bool() ? "true" : "false");
     }
 
     if (stats) {
-      const auto response = exchange(fd, reader, "{\"op\":\"stats\"}");
+      const auto response = client.exchange("stats", "");
       require_ok(response, "stats");
       const server::JsonValue* cache = response.find("cache");
-      std::printf("stats: cache hits=%lld misses=%lld size=%lld/%lld\n",
+      std::printf("stats: cache hits=%lld misses=%lld size=%lld/%lld uptime=%.1fs\n",
                   static_cast<long long>(cache->find("hits")->as_int()),
                   static_cast<long long>(cache->find("misses")->as_int()),
                   static_cast<long long>(cache->find("size")->as_int()),
-                  static_cast<long long>(cache->find("capacity")->as_int()));
+                  static_cast<long long>(cache->find("capacity")->as_int()),
+                  response.find("server")->find("uptime_seconds")->as_double());
     }
 
     if (!save_path.empty()) {
-      std::string line = "{\"op\":\"save_cache\",\"path\":";
-      server::json_append_string(line, save_path);
-      line += '}';
-      const auto response = exchange(fd, reader, line);
+      std::string members = "\"path\":";
+      server::json_append_string(members, save_path);
+      const auto response = client.exchange("save_cache", members);
       require_ok(response, "save_cache");
       std::printf("save_cache %s: %lld entries\n", save_path.c_str(),
                   static_cast<long long>(response.find("entries")->as_int()));
     }
 
     if (!load_path.empty()) {
-      std::string line = "{\"op\":\"load_cache\",\"path\":";
-      server::json_append_string(line, load_path);
-      line += '}';
-      const auto response = exchange(fd, reader, line);
+      std::string members = "\"path\":";
+      server::json_append_string(members, load_path);
+      const auto response = client.exchange("load_cache", members);
       require_ok(response, "load_cache");
       std::printf("load_cache %s: %lld entries\n", load_path.c_str(),
                   static_cast<long long>(response.find("entries")->as_int()));
     }
 
     if (shutdown) {
-      const auto response = exchange(fd, reader, "{\"op\":\"shutdown\"}");
+      const auto response = client.exchange("shutdown", "");
       require_ok(response, "shutdown");
       std::printf("shutdown acknowledged\n");
     }

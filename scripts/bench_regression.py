@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compare two bench_batch_throughput --json artifacts and fail on regression.
+
+Usage: bench_regression.py PREVIOUS.json CURRENT.json [--max-drop 0.20]
+
+The compared metric is the best graphs/sec across the per-thread runs — the
+figure a deployment actually gets from the serving layer. CI runners are
+noisy, so the gate is a relative drop (default 20%, the ROADMAP's threshold),
+not an absolute number. Exit codes: 0 ok / within tolerance, 1 regression,
+2 unusable input (missing file, malformed JSON, no runs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_rate(path: str) -> float:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rates = [run["graphs_per_sec"] for run in data.get("runs", [])
+             if isinstance(run.get("graphs_per_sec"), (int, float))]
+    if not rates:
+        print(f"bench_regression: no graphs_per_sec runs in {path}", file=sys.stderr)
+        sys.exit(2)
+    return max(rates)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--max-drop", type=float, default=0.20,
+                        help="maximum tolerated relative drop (0.20 = 20%%)")
+    args = parser.parse_args()
+
+    prev = best_rate(args.previous)
+    curr = best_rate(args.current)
+    change = (curr - prev) / prev
+    print(f"bench_regression: previous best {prev:.1f} graphs/sec, "
+          f"current best {curr:.1f} graphs/sec ({change:+.1%})")
+    if curr < prev * (1.0 - args.max_drop):
+        print(f"bench_regression: REGRESSION — throughput dropped more than "
+              f"{args.max_drop:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
   std::uint64_t h = key.graph_hash;
   for (const char c : key.solver) h = graph::mix64(h ^ static_cast<unsigned char>(c));
   for (const char c : key.options) h = graph::mix64(h ^ static_cast<unsigned char>(c));
+  // Mix a separator first so ("ab", "") and ("a", "b") across the
+  // options/ns boundary cannot collide trivially.
+  h = graph::mix64(h ^ 0x9e3779b97f4a7c15ULL);
+  for (const char c : key.ns) h = graph::mix64(h ^ static_cast<unsigned char>(c));
   return static_cast<std::size_t>(h);
 }
 
@@ -31,6 +35,13 @@ void append_escaped(std::string& out, std::string_view field) {
     out += c;
   }
 }
+
+// Namespaces are client-supplied, so the per-namespace counter map must not
+// grow without bound on a long-lived multi-tenant server. Counters of idle
+// namespaces (no entries currently held) are pruned once the map reaches
+// this size; namespaces with live entries are bounded by the cache capacity
+// itself (each needs at least one entry).
+constexpr std::size_t kMaxIdleNamespaceStats = 1024;
 
 }  // namespace
 
@@ -59,6 +70,7 @@ std::optional<Response> ResponseCache::lookup(const CacheKey& key) {
   if (it == index_.end()) return std::nullopt;  // the completing insert() counts the miss
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
   ++hits_;
+  ++ns_stats_[key.ns].hits;
   return it->second->second;
 }
 
@@ -66,6 +78,13 @@ bool ResponseCache::insert(const CacheKey& key, const Response& value) {
   if (!enabled()) return false;
   std::lock_guard lock(mu_);
   ++misses_;  // one computed Response reached the cache — the request's miss
+  if (ns_stats_.size() >= kMaxIdleNamespaceStats && !ns_stats_.contains(key.ns)) {
+    // A fresh namespace would push the counter map past its bound: drop the
+    // counters of namespaces holding no entries (their history, not their
+    // data — the entries of live namespaces are never touched).
+    std::erase_if(ns_stats_, [](const auto& kv) { return kv.second.size == 0; });
+  }
+  ++ns_stats_[key.ns].misses;
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent workers may compute the same entry; keep the first, just
@@ -75,6 +94,11 @@ bool ResponseCache::insert(const CacheKey& key, const Response& value) {
   }
   bool evicted = false;
   if (lru_.size() >= capacity_) {
+    // Shared capacity: the eviction is charged to the namespace losing the
+    // entry, which need not be the inserting one.
+    NamespaceStats& loser = ns_stats_[lru_.back().first.ns];
+    ++loser.evictions;
+    --loser.size;
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++evictions_;
@@ -82,6 +106,7 @@ bool ResponseCache::insert(const CacheKey& key, const Response& value) {
   }
   lru_.emplace_front(key, value);
   index_[key] = lru_.begin();
+  ++ns_stats_[key.ns].size;
   return evicted;
 }
 
@@ -90,20 +115,28 @@ CacheStats ResponseCache::stats() const {
   return {hits_, misses_, evictions_, lru_.size(), capacity_};
 }
 
+std::map<std::string, NamespaceStats> ResponseCache::namespace_stats() const {
+  std::lock_guard lock(mu_);
+  return ns_stats_;
+}
+
 void ResponseCache::clear() {
   std::lock_guard lock(mu_);
   lru_.clear();
   index_.clear();
+  for (auto& [ns, stats] : ns_stats_) stats.size = 0;
 }
 
 // ---------------------------------------------------------------------------
-// Snapshot format (little-endian, version 1):
+// Snapshot format (little-endian, version 2):
 //
 //   magic   "LMDSCACH"                       8 bytes
-//   version u32                              = 1
+//   version u32                              = 2
 //   count   u64
 //   count entries, least- to most-recently-used:
-//     CacheKey   { graph_hash u64, solver str, options str }
+//     CacheKey   { graph_hash u64, solver str, options str, ns str }
+//                (version 1 lacked the ns str; deserialize() still reads
+//                 such snapshots and places the entries in namespace "")
 //     Response   { solver str, problem u8, solution vec<i32>, valid u8,
 //                  ratio { size i32, reference i32, exact u8, ratio f64 },
 //                  ratio_measured u8,
@@ -124,7 +157,8 @@ void ResponseCache::clear() {
 namespace {
 
 constexpr char kMagic[8] = {'L', 'M', 'D', 'S', 'C', 'A', 'C', 'H'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionPreNamespace = 1;  // still readable
 constexpr std::uint64_t kFooter = 0x4C4D44534E415053ULL;  // "LMDSNAPS"
 
 void put_bytes(std::ostream& out, const void* p, std::size_t n) {
@@ -285,6 +319,7 @@ void ResponseCache::serialize(std::ostream& out) const {
     put_u64(out, it->first.graph_hash);
     put_str(out, it->first.solver);
     put_str(out, it->first.options);
+    put_str(out, it->first.ns);
     put_response(out, it->second);
   }
   put_u64(out, kFooter);
@@ -298,7 +333,7 @@ void ResponseCache::deserialize(std::istream& in) {
     throw std::runtime_error("cache snapshot: bad magic (not a snapshot file)");
   }
   const std::uint32_t version = get_u32(in);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionPreNamespace) {
     throw std::runtime_error("cache snapshot: unsupported version " +
                              std::to_string(version));
   }
@@ -312,6 +347,8 @@ void ResponseCache::deserialize(std::istream& in) {
     key.graph_hash = get_u64(in);
     key.solver = get_str(in);
     key.options = get_str(in);
+    // Version 1 predates namespaces; its entries belong to the default one.
+    key.ns = version >= kVersion ? get_str(in) : std::string();
     Response value = get_response(in);
     entries.emplace_front(std::move(key), std::move(value));
     if (enabled() && entries.size() > capacity_) entries.pop_back();  // drop oldest
@@ -331,6 +368,10 @@ void ResponseCache::deserialize(std::istream& in) {
       it = lru_.erase(it);
     }
   }
+  // Per-namespace sizes describe the entries just loaded; the hit/miss
+  // counters stay lifetime-of-this-process, like the global ones.
+  for (auto& [ns, stats] : ns_stats_) stats.size = 0;
+  for (const auto& [key, value] : lru_) ++ns_stats_[key.ns].size;
 }
 
 void ResponseCache::save_file(const std::string& path) const {

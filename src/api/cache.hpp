@@ -2,13 +2,16 @@
 // Thread-safe LRU response cache for the batch executor (and any long-lived
 // serving front-end built on it). A cached Response is keyed on
 //
-//   (graph_hash(G), solver name, canonicalized options)
+//   (graph_hash(G), solver name, canonicalized options, namespace)
 //
 // where "canonicalized options" is the *resolved* parameter map — every
 // declared parameter present, request values coerced to their declared types
 // — plus the measure_traffic / measure_ratio flags, serialized in sorted
 // order. Canonicalization means a request that spells out a default and one
-// that omits it share a cache line.
+// that omits it share a cache line. The namespace is an opaque tenant tag
+// ("" = the default namespace): two requests that differ only in namespace
+// never share an entry, which is how a multi-tenant serving front-end keeps
+// one client's warm cache invisible to another (protocol v2, src/server/).
 //
 // Identity is decided by the 64-bit graph fingerprint, not the graph itself:
 // two distinct graphs colliding on all 64 bits would alias (probability
@@ -26,6 +29,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <list>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -41,6 +45,7 @@ struct CacheKey {
   std::uint64_t graph_hash = 0;
   std::string solver;
   std::string options;  ///< canonical_options() of the resolved request
+  std::string ns;       ///< tenant namespace; "" = default
 
   friend bool operator==(const CacheKey&, const CacheKey&) = default;
 };
@@ -73,6 +78,19 @@ struct CacheStats {
   friend bool operator==(const CacheStats&, const CacheStats&) = default;
 };
 
+/// Per-namespace slice of the counters above. Capacity is shared across
+/// namespaces (one LRU list), so an insert in one namespace may evict
+/// another's entry — the eviction is charged to the namespace that *lost*
+/// the entry, and `size` is how many entries the namespace currently holds.
+struct NamespaceStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+
+  friend bool operator==(const NamespaceStats&, const NamespaceStats&) = default;
+};
+
 /// Fixed-capacity LRU map CacheKey -> Response. All operations take an
 /// internal mutex, so one cache may back concurrent run_batch calls.
 class ResponseCache {
@@ -96,6 +114,14 @@ class ResponseCache {
   bool insert(const CacheKey& key, const Response& value);
 
   CacheStats stats() const;
+  /// Counters sliced by CacheKey::ns, keyed by namespace (the default
+  /// namespace appears as ""). A namespace appears once it was ever touched;
+  /// clear() zeroes sizes but keeps the lifetime hit/miss/eviction counters.
+  /// The map is bounded: namespaces are client-supplied, so once ~1024
+  /// distinct ones have been seen, the counters of namespaces currently
+  /// holding no entries are pruned to make room (live namespaces are
+  /// bounded by the cache capacity itself).
+  std::map<std::string, NamespaceStats> namespace_stats() const;
   void clear();
 
   /// Writes a versioned binary snapshot of the entries (keys + responses,
@@ -104,7 +130,9 @@ class ResponseCache {
   void serialize(std::ostream& out) const;
 
   /// Replaces the current entries with a snapshot previously written by
-  /// serialize(). Recency order is preserved; if the snapshot holds more
+  /// serialize(). Accepts the current format (version 2, with per-entry
+  /// namespaces) and the pre-namespace version 1 (entries land in the
+  /// default namespace ""). Recency order is preserved; if the snapshot holds more
   /// entries than this cache's capacity, only the most recent ones are kept
   /// (silently, not counted as evictions). Lifetime counters are untouched.
   /// Throws std::runtime_error on a bad magic/version or truncated stream,
@@ -126,6 +154,7 @@ class ResponseCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::map<std::string, NamespaceStats> ns_stats_;
 };
 
 }  // namespace lmds::api

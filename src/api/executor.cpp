@@ -23,19 +23,53 @@ BatchExecutor::BatchExecutor(BatchOptions opts, const Registry& registry)
 std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
                                                std::span<const Graph> graphs,
                                                const Request& req, BatchDiagnostics* diag) {
+  return run_batch(solver, graphs, req, BatchOverrides{}, diag);
+}
+
+std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
+                                               std::span<const Graph> graphs,
+                                               const Request& req, const BatchOverrides& over,
+                                               BatchDiagnostics* diag) {
+  return run_impl(
+      solver, [graphs](std::size_t i) -> const Graph& { return graphs[i]; }, graphs.size(),
+      req, over, diag);
+}
+
+std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
+                                               std::span<const Graph* const> graphs,
+                                               const Request& req, const BatchOverrides& over,
+                                               BatchDiagnostics* diag,
+                                               std::span<const std::uint64_t> graph_hashes) {
+  return run_impl(
+      solver, [graphs](std::size_t i) -> const Graph& { return *graphs[i]; }, graphs.size(),
+      req, over, diag, graph_hashes);
+}
+
+std::vector<Response> BatchExecutor::run_impl(
+    std::string_view solver, const std::function<const Graph&(std::size_t)>& graph_at,
+    std::size_t count, const Request& req, const BatchOverrides& over,
+    BatchDiagnostics* diag, std::span<const std::uint64_t> graph_hashes) {
   // Validate once, up front: a malformed request throws here, on the calling
   // thread, before any worker spawns or cache entry is touched. Workers then
   // take the trusted run_resolved path — one name lookup per graph, no
-  // per-graph re-validation or options rebuild.
+  // per-graph re-validation or options rebuild. Override values are part of
+  // the request, so they are validated with RequestError too.
   const Options resolved = registry_.resolve_options(solver, req);
-
-  const std::size_t count = graphs.size();
-  const std::size_t shard_size = static_cast<std::size_t>(opts_.shard_size);
+  if (over.shard_size && *over.shard_size <= 0) {
+    throw RequestError("shard_size override must be positive");
+  }
+  if (over.threads && *over.threads > 4096) {
+    throw RequestError("threads override too large (max 4096)");
+  }
+  const std::size_t shard_size =
+      static_cast<std::size_t>(over.shard_size.value_or(opts_.shard_size));
   const int shards = static_cast<int>((count + shard_size - 1) / shard_size);
 
-  int workers = opts_.threads;
+  int workers = over.threads.value_or(opts_.threads);
   if (workers <= 0) workers = std::max(1u, std::thread::hardware_concurrency());
   workers = std::max(1, std::min(workers, shards));
+
+  const bool use_cache = cache_.enabled() && !over.bypass_cache;
 
   std::vector<Response> out(count);
   // Per-batch counters: concurrent run_batch calls share the cache, so the
@@ -47,8 +81,8 @@ std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
   std::atomic<std::uint64_t> evictions{0};
   if (count > 0) {
     const std::string options_key =
-        cache_.enabled() ? canonical_options(resolved, req.measure_traffic, req.measure_ratio)
-                         : std::string();
+        use_cache ? canonical_options(resolved, req.measure_traffic, req.measure_ratio)
+                  : std::string();
 
     // The shard queue: shards dealt round-robin onto one queue per worker,
     // each queue drained through an atomic cursor. Any worker may pop from
@@ -69,10 +103,13 @@ std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
     std::size_t error_index = count;
 
     auto run_one = [&](std::size_t i) {
-      const Graph& g = graphs[i];
+      const Graph& g = graph_at(i);
       CacheKey key;
-      if (cache_.enabled()) {
-        key = CacheKey{graph::graph_hash(g), std::string(solver), options_key};
+      if (use_cache) {
+        const std::uint64_t hash = i < graph_hashes.size() && graph_hashes[i] != 0
+                                       ? graph_hashes[i]
+                                       : graph::graph_hash(g);
+        key = CacheKey{hash, std::string(solver), options_key, over.cache_namespace};
         if (std::optional<Response> hit = cache_.lookup(key)) {
           hits.fetch_add(1, std::memory_order_relaxed);
           out[i] = *std::move(hit);
@@ -84,7 +121,7 @@ std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
       // The miss is counted only now that the compute succeeded (a throwing
       // solve never reaches here), keeping hits + misses equal to completed
       // work; ResponseCache::insert counts its own lifetime miss the same way.
-      if (cache_.enabled()) {
+      if (use_cache) {
         misses.fetch_add(1, std::memory_order_relaxed);
         if (cache_.insert(key, out[i])) {
           evictions.fetch_add(1, std::memory_order_relaxed);

@@ -20,7 +20,10 @@
 //    per-call locals.
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -42,6 +45,21 @@ struct BatchOptions {
   int shard_size = 4;
   /// LRU response-cache capacity in entries; 0 disables caching.
   std::size_t cache_capacity = 0;
+};
+
+/// Per-request deviations from the executor's configured BatchOptions — the
+/// serving layer's "per-request options" (protocol v2). Everything unset
+/// falls back to the BatchOptions the executor was built with; the response
+/// cache itself (capacity, contents) is always the executor's.
+struct BatchOverrides {
+  std::optional<int> threads;     ///< worker parallelism for this batch only
+  std::optional<int> shard_size;  ///< shard granularity for this batch only
+  /// Compute every response fresh and leave the cache untouched (no lookups,
+  /// no inserts) — for clients that must not observe or pollute shared state.
+  bool bypass_cache = false;
+  /// Tenant tag threaded into every CacheKey of this batch ("" = default
+  /// namespace). Distinct namespaces never share cache entries.
+  std::string cache_namespace;
 };
 
 /// What one run_batch call did — the executor-level Diagnostics. Cache
@@ -75,6 +93,28 @@ class BatchExecutor {
   std::vector<Response> run_batch(std::string_view solver, std::span<const Graph> graphs,
                                   const Request& req, BatchDiagnostics* diag = nullptr);
 
+  /// Same, with per-request overrides (threads, shard size, cache bypass,
+  /// cache namespace). An overridden shard_size <= 0 or threads out of
+  /// sanity range throws RequestError — it is the request's fault, not the
+  /// executor's configuration.
+  std::vector<Response> run_batch(std::string_view solver, std::span<const Graph> graphs,
+                                  const Request& req, const BatchOverrides& over,
+                                  BatchDiagnostics* diag = nullptr);
+
+  /// Pointer-span variant for callers whose graphs are not contiguous —
+  /// the serving layer's solve-by-handle path hands the GraphStore's stored
+  /// graphs straight to the pool, no per-request copies. Every pointer must
+  /// be non-null and outlive the call. `graph_hashes`, when non-empty, must
+  /// parallel `graphs` and carries precomputed graph_hash fingerprints (a
+  /// graph-store handle *is* its graph's hash, so handle solves skip the
+  /// O(V+E) hash walk entirely); a 0 entry means "unknown, compute" — the
+  /// one-in-2^64 graph whose real hash is 0 merely loses the skip.
+  std::vector<Response> run_batch(std::string_view solver,
+                                  std::span<const Graph* const> graphs, const Request& req,
+                                  const BatchOverrides& over,
+                                  BatchDiagnostics* diag = nullptr,
+                                  std::span<const std::uint64_t> graph_hashes = {});
+
   const BatchOptions& options() const { return opts_; }
   /// Lifetime counters of the executor's cache.
   CacheStats cache_stats() const { return cache_.stats(); }
@@ -85,6 +125,14 @@ class BatchExecutor {
   const ResponseCache& cache() const { return cache_; }
 
  private:
+  /// The one real implementation; the public overloads adapt their graph
+  /// containers into the accessor.
+  std::vector<Response> run_impl(std::string_view solver,
+                                 const std::function<const Graph&(std::size_t)>& graph_at,
+                                 std::size_t count, const Request& req,
+                                 const BatchOverrides& over, BatchDiagnostics* diag,
+                                 std::span<const std::uint64_t> graph_hashes = {});
+
   BatchOptions opts_;
   const Registry& registry_;
   ResponseCache cache_;

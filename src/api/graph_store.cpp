@@ -1,0 +1,114 @@
+#include "api/graph_store.hpp"
+
+#include <algorithm>
+
+#include "graph/hash.hpp"
+
+namespace lmds::api {
+
+GraphStore::GraphStore(std::size_t capacity) : capacity_(capacity) {}
+
+std::string GraphStore::handle_for(std::uint64_t hash) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "g";
+  for (int shift = 60; shift >= 0; shift -= 4) out += kHex[(hash >> shift) & 0xF];
+  return out;
+}
+
+std::optional<std::uint64_t> GraphStore::parse_handle(std::string_view handle) {
+  if (handle.size() != 17 || handle.front() != 'g') return std::nullopt;
+  std::uint64_t hash = 0;
+  for (const char c : handle.substr(1)) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return std::nullopt;  // uppercase deliberately rejected: one spelling
+    }
+    hash = (hash << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return hash;
+}
+
+GraphStore::PutResult GraphStore::put(graph::Graph g) {
+  const std::uint64_t hash = graph::graph_hash(g);
+  PutResult out;
+  out.handle = handle_for(hash);
+  out.hash = hash;
+  out.vertices = g.num_vertices();
+  out.edges = g.num_edges();
+
+  std::lock_guard lock(mu_);
+  if (const auto it = entries_.find(hash); it != entries_.end()) {
+    // Content-addressed reuse: re-pin, discarding the caller's copy.
+    if (it->second.refs == 0) unpinned_.erase(it->second.lru_it);
+    ++it->second.refs;
+    ++reuses_;
+    return out;
+  }
+  if (entries_.size() >= capacity_) {
+    if (unpinned_.empty()) {
+      throw GraphStoreFull("graph store full: " + std::to_string(entries_.size()) +
+                           " graphs stored, all pinned (drop_graph frees capacity)");
+    }
+    entries_.erase(unpinned_.back());
+    unpinned_.pop_back();
+    ++evictions_;
+  }
+  Entry entry;
+  entry.graph = std::make_shared<const graph::Graph>(std::move(g));
+  entry.refs = 1;
+  entries_.emplace(hash, std::move(entry));
+  ++puts_;
+  out.inserted = true;
+  return out;
+}
+
+std::shared_ptr<const graph::Graph> GraphStore::get(std::string_view handle) {
+  const std::optional<std::uint64_t> hash = parse_handle(handle);
+  if (!hash) return nullptr;
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(*hash);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.refs == 0) {
+    // Keep a live-but-unpinned graph from being the next eviction victim.
+    unpinned_.splice(unpinned_.begin(), unpinned_, it->second.lru_it);
+  }
+  return it->second.graph;
+}
+
+bool GraphStore::drop(std::string_view handle) {
+  const std::optional<std::uint64_t> hash = parse_handle(handle);
+  if (!hash) return false;
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(*hash);
+  if (it == entries_.end()) return false;
+  // Every put was already dropped: there is no reference left to release
+  // (the entry merely lingers as an evictable cache line).
+  if (it->second.refs == 0) return false;
+  ++drops_;
+  if (--it->second.refs == 0) {
+    // Last reference released: the entry lingers as an evictable LRU line
+    // (a re-put of the same graph is free until capacity reclaims it).
+    unpinned_.push_front(*hash);
+    it->second.lru_it = unpinned_.begin();
+  }
+  return true;
+}
+
+GraphStoreStats GraphStore::stats() const {
+  std::lock_guard lock(mu_);
+  GraphStoreStats s;
+  s.puts = puts_;
+  s.reuses = reuses_;
+  s.drops = drops_;
+  s.evictions = evictions_;
+  s.size = entries_.size();
+  s.pinned = entries_.size() - unpinned_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace lmds::api

@@ -1,0 +1,112 @@
+#pragma once
+// Content-addressed store of uploaded graphs — the serving layer's answer to
+// "many queries over few graphs". A client uploads a graph once (put), gets
+// back a stable handle derived from the 64-bit structural fingerprint
+// (src/graph/hash.hpp), and solves by handle from then on: repeated solve
+// traffic skips the edge-list re-send and the JSON decode entirely.
+//
+// Semantics:
+//  * Content-addressed — put() of an identical graph returns the same
+//    handle and bumps a refcount instead of storing a second copy. The
+//    handle is "g" + 16 hex digits of graph_hash; two *distinct* graphs
+//    colliding on all 64 bits would share a handle (probability ~2^-40
+//    across a million graphs) — the same deliberate trade the response
+//    cache makes.
+//  * Refcounted — drop() undoes one put(). An entry whose refcount reaches
+//    zero is not freed eagerly: it moves to an unpinned LRU side-list and
+//    stays resolvable (a re-put is free) until capacity pressure evicts it.
+//  * Capacity-evicting — put() of a *new* graph at capacity evicts unpinned
+//    entries, least-recently-used first. If every stored graph is still
+//    pinned (refcount > 0), put() throws GraphStoreFull — the caller (the
+//    server) reports a retryable error instead of growing without bound.
+//
+// Thread-safe: all operations take an internal mutex. get() hands out
+// shared_ptr<const Graph>, so a solve keeps its graph alive even if a
+// concurrent drop/evict removes the entry mid-batch.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+
+namespace lmds::api {
+
+/// Thrown by GraphStore::put when the store is at capacity and every entry
+/// is still pinned — retryable after a drop_graph, hence "busy" not "bad".
+struct GraphStoreFull : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Lifetime counters; `size`/`pinned` are instantaneous.
+struct GraphStoreStats {
+  std::uint64_t puts = 0;       ///< put() calls that stored a new graph
+  std::uint64_t reuses = 0;     ///< put() calls answered by an existing entry
+  std::uint64_t drops = 0;      ///< successful drop() calls
+  std::uint64_t evictions = 0;  ///< unpinned entries reclaimed by capacity
+  std::size_t size = 0;         ///< graphs currently stored
+  std::size_t pinned = 0;       ///< graphs with refcount > 0
+  std::size_t capacity = 0;
+
+  friend bool operator==(const GraphStoreStats&, const GraphStoreStats&) = default;
+};
+
+class GraphStore {
+ public:
+  /// capacity = maximum stored graphs (pinned + unpinned). 0 disables the
+  /// store: every put() throws GraphStoreFull.
+  explicit GraphStore(std::size_t capacity);
+
+  struct PutResult {
+    std::string handle;
+    std::uint64_t hash = 0;
+    bool inserted = false;  ///< false = content-addressed reuse of an entry
+    int vertices = 0;
+    int edges = 0;
+  };
+
+  /// Stores (or re-pins) a graph and returns its handle. Throws
+  /// GraphStoreFull when a new entry is needed, the store is at capacity
+  /// and nothing is evictable.
+  PutResult put(graph::Graph g);
+
+  /// Resolves a handle; nullptr when unknown (never stored, dropped *and*
+  /// evicted, or malformed). Promotes an unpinned entry to most recent.
+  std::shared_ptr<const graph::Graph> get(std::string_view handle);
+
+  /// Undoes one put(). Returns false when the handle resolves to nothing.
+  bool drop(std::string_view handle);
+
+  GraphStoreStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// "g" + 16 lowercase hex digits of the fingerprint.
+  static std::string handle_for(std::uint64_t hash);
+  /// Inverse of handle_for; nullopt on anything not of that exact shape.
+  static std::optional<std::uint64_t> parse_handle(std::string_view handle);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const graph::Graph> graph;
+    int refs = 0;
+    /// Valid iff refs == 0: position in unpinned_ (front = most recent).
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> unpinned_;  // front = most recently released/used
+  std::uint64_t puts_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace lmds::api

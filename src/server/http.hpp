@@ -1,0 +1,78 @@
+#pragma once
+// Minimal HTTP/1.1 front-end over the transport-agnostic Session core — the
+// second transport next to the newline-delimited TCP line protocol. Both
+// speak the same protocol v2; HTTP moves the verb into the route and the
+// namespace into a header:
+//
+//   PUT    /v2/graphs            body = {"n":..,"edges":[[u,v],...]}
+//                                -> put_graph      (201 on new, 200 on reuse)
+//   DELETE /v2/graphs/<handle>   -> drop_graph
+//   POST   /v2/solve             body = solve request without the "op" field
+//   GET    /v2/solvers           -> solvers
+//   GET    /v2/stats             -> stats
+//   POST   /v2/shutdown          -> shutdown
+//
+//   X-Lmds-Namespace: tenant-a   per-request cache namespace (equivalent of
+//                                open_session; absent = default namespace).
+//                                A "namespace" field in a solve body wins.
+//
+// Response bodies are byte-identical to the line protocol's response lines;
+// the HTTP status is derived from the protocol's error code (bad_request ->
+// 400, unknown_solver/unknown_handle -> 404, server_busy -> 503, everything
+// else that fails -> 500). Keep-alive is honored; a malformed request gets
+// a 400 and closes the connection (resynchronizing framing is guesswork).
+//
+// Parsing and response building are socket-free (only read_http_request
+// touches a LineReader, which tests drive over a pipe), so the whole
+// front-end is exercised in tests/test_server.cpp without a network.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "server/net.hpp"
+#include "server/protocol.hpp"
+#include "server/session.hpp"
+
+namespace lmds::server {
+
+/// One parsed HTTP request, reduced to what the router needs.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string target;  ///< path only; a query string is stripped
+  std::string body;
+  std::string ns;           ///< X-Lmds-Namespace value ("" when absent)
+  bool keep_alive = true;   ///< HTTP/1.1 default unless "Connection: close"
+};
+
+/// Thrown by read_http_request on a malformed or over-limit request; the
+/// connection loop answers `status` and drops the connection.
+class HttpError : public std::runtime_error {
+ public:
+  HttpError(int status, const std::string& what) : std::runtime_error(what), status_(status) {}
+  int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// Reads one request (request line + headers + Content-Length body) from
+/// `reader`. std::nullopt on clean EOF before a request line (client done).
+/// Throws HttpError on malformed framing, an unsupported Transfer-Encoding,
+/// or a body beyond limits.max_line_bytes. `fd` is written the interim
+/// "100 Continue" when the client sent Expect: 100-continue (curl does for
+/// bodies over ~1KB — exactly this API's graph uploads; without the interim
+/// response such clients stall ~1s per request before sending the body).
+std::optional<HttpRequest> read_http_request(LineReader& reader, int fd,
+                                             const ServerLimits& limits);
+
+/// Routes `req` into `session` and returns the complete HTTP/1.1 response
+/// bytes (status line, headers, JSON body). Never throws for request-level
+/// failures. Sets session namespace from the request's header first.
+std::string handle_http_request(const HttpRequest& req, Session& session);
+
+/// A standalone error response (for over-limit rejects and the
+/// --max-connections 503), body {"ok":false,"code":...,"error":...}.
+std::string http_error_response(int status, ErrorCode code, std::string_view message);
+
+}  // namespace lmds::server

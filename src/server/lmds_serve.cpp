@@ -1,9 +1,12 @@
-// lmds_serve — the long-lived batch-serving front-end. Owns one
-// BatchExecutor (worker pool + work-stealing shards + LRU response cache)
-// and answers the newline-delimited JSON protocol of src/server/protocol.hpp
-// over TCP. See README.md "Serving" for the protocol by example.
+// lmds_serve — the long-lived batch-serving front-end. Owns one ServerCore
+// (worker pool + work-stealing shards + LRU response cache + graph store)
+// and answers protocol v2 (src/server/protocol.hpp) over the newline-
+// delimited JSON/TCP line protocol, plus — with --http-port — the HTTP/1.1
+// front-end of src/server/http.hpp over the same core. See README.md
+// "Serving" for the protocol by example.
 //
-//   $ ./lmds_serve --port 7411 --threads 4 --cache-capacity 4096 --snapshot cache.lmds
+//   $ ./lmds_serve --port 7411 --http-port 7412 --threads 4
+//         --cache-capacity 4096 --snapshot cache.lmds
 //
 // --snapshot FILE warms the response cache from FILE at startup (when it
 // exists) and saves it back on clean shutdown, so a restarted server answers
@@ -23,13 +26,18 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: lmds_serve [--host H] [--port P] [--port-file FILE]\n"
+               "                  [--http-port P] [--http-port-file FILE]\n"
                "                  [--threads N] [--shard-size N] [--cache-capacity N]\n"
+               "                  [--store-capacity N] [--max-connections N]\n"
+               "                  [--stats-all-namespaces]\n"
                "                  [--snapshot FILE] [--snapshot-dir DIR | --no-snapshot-verbs]\n"
                "                  [--max-line-bytes N] [--max-graph-vertices N]\n"
                "                  [--max-batch-graphs N]\n"
                "defaults: 127.0.0.1:7411, threads 0 (hardware), shard_size 4,\n"
-               "          cache 4096 entries; --port 0 picks an ephemeral port\n"
-               "          (printed on stdout and to --port-file).\n"
+               "          cache 4096 entries, graph store 1024 graphs,\n"
+               "          max 256 concurrent connections, HTTP disabled;\n"
+               "          --port/--http-port 0 picks an ephemeral port\n"
+               "          (printed on stdout and to --port-file/--http-port-file).\n"
                "Client save_cache/load_cache paths resolve under --snapshot-dir\n"
                "(default: the working directory); --no-snapshot-verbs disables them.\n"
                "--snapshot itself is operator-local and unrestricted.\n");
@@ -52,10 +60,11 @@ int main(int argc, char** argv) {
 
   server::ServerOptions opts;
   opts.port = 7411;
-  opts.batch.threads = 0;  // hardware concurrency
-  opts.batch.cache_capacity = 4096;
+  opts.core.batch.threads = 0;  // hardware concurrency
+  opts.core.batch.cache_capacity = 4096;
   std::string snapshot;
   std::string port_file;
+  std::string http_port_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,40 +79,61 @@ int main(int argc, char** argv) {
     } else if (arg == "--port-file" && value) {
       port_file = value;
       ++i;
+    } else if (arg == "--http-port" && value && parse_int_flag(value, 0, 65535, &parsed)) {
+      opts.http_port = parsed;
+      ++i;
+    } else if (arg == "--http-port-file" && value) {
+      http_port_file = value;
+      ++i;
+    } else if (arg == "--max-connections" && value && parse_int_flag(value, 1, 1 << 20, &parsed)) {
+      opts.max_connections = static_cast<std::size_t>(parsed);
+      ++i;
+    } else if (arg == "--store-capacity" && value && parse_int_flag(value, 0, 1 << 30, &parsed)) {
+      opts.core.store_capacity = static_cast<std::size_t>(parsed);
+      ++i;
+    } else if (arg == "--stats-all-namespaces") {
+      opts.core.stats_all_namespaces = true;
     } else if (arg == "--threads" && value && parse_int_flag(value, 0, 4096, &parsed)) {
-      opts.batch.threads = parsed;
+      opts.core.batch.threads = parsed;
       ++i;
     } else if (arg == "--shard-size" && value && parse_int_flag(value, 1, 1 << 20, &parsed)) {
-      opts.batch.shard_size = parsed;
+      opts.core.batch.shard_size = parsed;
       ++i;
     } else if (arg == "--cache-capacity" && value &&
                parse_int_flag(value, 0, 1 << 30, &parsed)) {
-      opts.batch.cache_capacity = static_cast<std::size_t>(parsed);
+      opts.core.batch.cache_capacity = static_cast<std::size_t>(parsed);
       ++i;
     } else if (arg == "--snapshot" && value) {
       snapshot = value;
       ++i;
     } else if (arg == "--snapshot-dir" && value) {
-      opts.snapshot_dir = value;
+      opts.core.snapshot_dir = value;
       ++i;
     } else if (arg == "--no-snapshot-verbs") {
-      opts.snapshot_dir.clear();
+      opts.core.snapshot_dir.clear();
     } else if (arg == "--max-line-bytes" && value &&
                parse_int_flag(value, 64, 1 << 30, &parsed)) {
-      opts.limits.max_line_bytes = static_cast<std::size_t>(parsed);
+      opts.core.limits.max_line_bytes = static_cast<std::size_t>(parsed);
       ++i;
     } else if (arg == "--max-graph-vertices" && value &&
                parse_int_flag(value, 1, 1 << 30, &parsed)) {
-      opts.limits.max_graph_vertices = parsed;
+      opts.core.limits.max_graph_vertices = parsed;
       ++i;
     } else if (arg == "--max-batch-graphs" && value &&
                parse_int_flag(value, 1, 1 << 30, &parsed)) {
-      opts.limits.max_batch_graphs = static_cast<std::size_t>(parsed);
+      opts.core.limits.max_batch_graphs = static_cast<std::size_t>(parsed);
       ++i;
     } else {
       std::fprintf(stderr, "lmds_serve: bad flag or value: %s\n", arg.c_str());
       return usage();
     }
+  }
+
+  if (!http_port_file.empty() && opts.http_port < 0) {
+    // Fail fast: silently never writing the file would hang any supervisor
+    // polling it for the bound port.
+    std::fprintf(stderr, "lmds_serve: --http-port-file requires --http-port\n");
+    return usage();
   }
 
   try {
@@ -126,12 +156,23 @@ int main(int argc, char** argv) {
 
     srv.bind_and_listen();
     std::printf("lmds_serve listening on %s:%d\n", opts.host.c_str(), srv.port());
+    if (srv.http_port() >= 0) {
+      std::printf("lmds_serve HTTP on %s:%d\n", opts.host.c_str(), srv.http_port());
+    }
     std::fflush(stdout);
     if (!port_file.empty()) {
       std::ofstream pf(port_file, std::ios::trunc);
       pf << srv.port() << '\n';
       if (!pf) {
         std::fprintf(stderr, "lmds_serve: cannot write %s\n", port_file.c_str());
+        return 1;
+      }
+    }
+    if (!http_port_file.empty() && srv.http_port() >= 0) {
+      std::ofstream pf(http_port_file, std::ios::trunc);
+      pf << srv.http_port() << '\n';
+      if (!pf) {
+        std::fprintf(stderr, "lmds_serve: cannot write %s\n", http_port_file.c_str());
         return 1;
       }
     }

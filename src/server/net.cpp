@@ -79,6 +79,27 @@ std::optional<std::string> LineReader::next_line(std::size_t max_bytes) {
   }
 }
 
+std::optional<std::string> LineReader::read_exact(std::size_t n) {
+  while (buffer_.size() < n && !eof_) {
+    char chunk[65536];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+      break;
+    }
+    if (got == 0) {
+      eof_ = true;
+      break;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+  if (buffer_.size() < n) return std::nullopt;  // peer closed mid-body
+  std::string out = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return out;
+}
+
 void close_fd(int fd) {
   if (fd >= 0) ::close(fd);
 }

@@ -30,6 +30,11 @@ class LineReader {
   /// the connection; resynchronizing inside a half-read line is guesswork).
   std::optional<std::string> next_line(std::size_t max_bytes);
 
+  /// Exactly `n` bytes (buffered remainder first, then the socket) — the
+  /// HTTP front-end's Content-Length body read. std::nullopt when the peer
+  /// closes before `n` bytes arrive.
+  std::optional<std::string> read_exact(std::size_t n);
+
   bool oversized() const { return oversized_; }
 
  private:

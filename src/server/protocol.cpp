@@ -10,8 +10,10 @@ std::string_view to_string(ErrorCode code) {
   switch (code) {
     case ErrorCode::BadRequest: return "bad_request";
     case ErrorCode::UnknownSolver: return "unknown_solver";
+    case ErrorCode::UnknownHandle: return "unknown_handle";
     case ErrorCode::SolverFailure: return "solver_failure";
     case ErrorCode::IoError: return "io_error";
+    case ErrorCode::ServerBusy: return "server_busy";
   }
   return "?";
 }
@@ -76,6 +78,21 @@ graph::Graph decode_graph(const JsonValue& v, const ServerLimits& limits) {
   return builder.build();
 }
 
+std::string decode_namespace(const JsonValue& v, const ServerLimits& limits) {
+  if (v.type() != JsonValue::Type::String) bad_request("\"namespace\" must be a string");
+  const std::string& ns = v.as_string();
+  if (ns.size() > limits.max_namespace_bytes) {
+    bad_request("namespace too long: " + std::to_string(ns.size()) + " bytes exceeds limit " +
+                std::to_string(limits.max_namespace_bytes));
+  }
+  for (const char c : ns) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7F) {
+      bad_request("namespace must not contain control characters");
+    }
+  }
+  return ns;
+}
+
 SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
                           const ServerLimits& limits) {
   SolveRequest out;
@@ -115,6 +132,39 @@ SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
     out.request.measure_ratio = flag->as_bool();
   }
 
+  // Per-request executor overrides (protocol v2). Limits are enforced here,
+  // at decode time, so a rejected override never reaches the worker pool.
+  if (const JsonValue* batch = root.find("batch")) {
+    if (batch->type() != JsonValue::Type::Object) bad_request("\"batch\" must be an object");
+    for (const auto& [name, value] : batch->as_object()) {
+      if (name == "threads") {
+        const int threads = int_field(value, "batch \"threads\"");
+        if (threads < 1 || threads > limits.max_request_threads) {
+          bad_request("batch \"threads\" must be in [1, " +
+                      std::to_string(limits.max_request_threads) + "]");
+        }
+        out.overrides.threads = threads;
+      } else if (name == "shard_size") {
+        const int shard = int_field(value, "batch \"shard_size\"");
+        if (shard < 1 || shard > (1 << 20)) {
+          bad_request("batch \"shard_size\" must be in [1, 1048576]");
+        }
+        out.overrides.shard_size = shard;
+      } else if (name == "no_cache") {
+        if (value.type() != JsonValue::Type::Bool) {
+          bad_request("batch \"no_cache\" must be a bool");
+        }
+        out.overrides.bypass_cache = value.as_bool();
+      } else {
+        bad_request("unknown batch override \"" + name +
+                    "\" (expected threads, shard_size, no_cache)");
+      }
+    }
+  }
+  if (const JsonValue* ns = root.find("namespace")) {
+    out.ns = decode_namespace(*ns, limits);
+  }
+
   const JsonValue* graphs = root.find("graphs");
   if (!graphs || graphs->type() != JsonValue::Type::Array) {
     bad_request("solve request needs a \"graphs\" array");
@@ -124,7 +174,32 @@ SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
                 " graphs exceeds limit " + std::to_string(limits.max_batch_graphs));
   }
   out.graphs.reserve(graphs->as_array().size());
-  for (const JsonValue& g : graphs->as_array()) out.graphs.push_back(decode_graph(g, limits));
+  for (const JsonValue& g : graphs->as_array()) {
+    if (g.type() == JsonValue::Type::String) {
+      // v2: a graph-store handle. Shape-check now so an obvious typo fails
+      // as bad_request, not as a handle that could never exist.
+      const std::string& handle = g.as_string();
+      if (!api::GraphStore::parse_handle(handle)) {
+        bad_request("\"" + handle +
+                    "\" is not a graph handle (expected \"g\" + 16 hex digits)");
+      }
+      out.graphs.emplace_back(handle);
+    } else {
+      out.graphs.emplace_back(decode_graph(g, limits));
+    }
+  }
+  return out;
+}
+
+std::string encode_graph_json(const graph::Graph& g) {
+  std::string out = "{\"n\":" + std::to_string(g.num_vertices()) + ",\"edges\":[";
+  bool first = true;
+  for (const auto& [u, v] : g.edges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(u) + ',' + std::to_string(v) + ']';
+  }
+  out += "]}";
   return out;
 }
 
@@ -178,13 +253,21 @@ void append_response(std::string& out, const api::Response& r) {
 }  // namespace
 
 std::string encode_solve_result(std::span<const api::Response> responses,
-                                const api::BatchDiagnostics& diag) {
+                                const api::BatchDiagnostics& diag, std::string_view ns) {
   std::string out = "{\"ok\":true,\"op\":\"solve\",\"responses\":[";
   for (std::size_t i = 0; i < responses.size(); ++i) {
     if (i) out += ',';
     append_response(out, responses[i]);
   }
-  out += "],\"diag\":{\"threads\":" + std::to_string(diag.threads) +
+  out += "],";
+  if (!ns.empty()) {
+    // Echoed so a client multiplexing namespaces can match responses; absent
+    // for the default namespace, keeping v1 responses byte-identical.
+    out += "\"namespace\":";
+    json_append_string(out, ns);
+    out += ',';
+  }
+  out += "\"diag\":{\"threads\":" + std::to_string(diag.threads) +
          ",\"shards\":" + std::to_string(diag.shards) +
          ",\"stolen_shards\":" + std::to_string(diag.stolen_shards) +
          ",\"cache_hits\":" + std::to_string(diag.cache_hits) +
@@ -240,15 +323,39 @@ std::string encode_solvers(const api::Registry& registry) {
   return out;
 }
 
-std::string encode_stats(const api::CacheStats& cache, const ServerCounters& server) {
+std::string encode_stats(const api::CacheStats& cache,
+                         const std::map<std::string, api::NamespaceStats>& namespaces,
+                         const api::GraphStoreStats& store, const ServerCounters& server,
+                         double uptime_seconds) {
   std::string out = "{\"ok\":true,\"op\":\"stats\",\"cache\":{\"hits\":" +
                     std::to_string(cache.hits) + ",\"misses\":" + std::to_string(cache.misses) +
                     ",\"evictions\":" + std::to_string(cache.evictions) +
                     ",\"size\":" + std::to_string(cache.size) +
                     ",\"capacity\":" + std::to_string(cache.capacity) + "}";
+  out += ",\"namespaces\":{";
+  bool first = true;
+  for (const auto& [ns, s] : namespaces) {
+    if (!first) out += ',';
+    first = false;
+    json_append_string(out, ns);  // "" is the default namespace
+    out += ":{\"hits\":" + std::to_string(s.hits) + ",\"misses\":" + std::to_string(s.misses) +
+           ",\"evictions\":" + std::to_string(s.evictions) +
+           ",\"size\":" + std::to_string(s.size) + "}";
+  }
+  out += "},\"store\":{\"graphs\":" + std::to_string(store.size) +
+         ",\"pinned\":" + std::to_string(store.pinned) +
+         ",\"capacity\":" + std::to_string(store.capacity) +
+         ",\"puts\":" + std::to_string(store.puts) +
+         ",\"reuses\":" + std::to_string(store.reuses) +
+         ",\"drops\":" + std::to_string(store.drops) +
+         ",\"evictions\":" + std::to_string(store.evictions) + "}";
   out += ",\"server\":{\"connections\":" + std::to_string(server.connections) +
+         ",\"rejected_connections\":" + std::to_string(server.rejected) +
          ",\"requests\":" + std::to_string(server.requests) +
-         ",\"graphs_solved\":" + std::to_string(server.graphs_solved) + "}}";
+         ",\"graphs_solved\":" + std::to_string(server.graphs_solved) +
+         ",\"uptime_seconds\":";
+  json_append_double(out, uptime_seconds);
+  out += "}}";
   return out;
 }
 

@@ -1,27 +1,47 @@
 #pragma once
-// The lmds_serve wire protocol: newline-delimited JSON, one request object
-// per line in, one response object per line out.
+// The lmds_serve wire protocol (v2): newline-delimited JSON over TCP, one
+// request object per line in, one response object per line out; the same
+// verbs are also reachable over the HTTP front-end (src/server/http.hpp).
 //
-// Solve request:
+// Solve request (v2 — graphs may be inline edge lists *or* store handles):
 //   {"op":"solve","solver":"algorithm1",
 //    "options":{"t":5,"twin_removal":true},          // optional
 //    "measure_traffic":false,"measure_ratio":true,   // optional, default false
-//    "graphs":[{"n":4,"edges":[[0,1],[1,2]]}, ...]}  // edge-list graphs
+//    "batch":{"threads":2,"shard_size":8,            // optional per-request
+//             "no_cache":false},                     //   executor overrides
+//    "namespace":"tenant-a",                         // optional cache namespace
+//    "graphs":[{"n":4,"edges":[[0,1],[1,2]]},        // v1 inline edge list
+//              "g00e1f2a3b4c5d6e7"]}                 // v2 graph-store handle
+//
+// A request whose graphs are all inline edge lists and that names no v2
+// field is exactly the v1 protocol and is answered unchanged — v1 clients
+// keep working against a v2 server.
+//
+// Graph-store requests:
+//   {"op":"put_graph","graph":{"n":4,"edges":[[0,1]]}}   -> {"handle":...}
+//   {"op":"drop_graph","handle":"g00e1..."}
+//
+// Session requests:
+//   {"op":"open_session","namespace":"tenant-a"}  select this connection's
+//                                                 default cache namespace
 //
 // Admin requests:
 //   {"op":"solvers"}                  registry enumeration
-//   {"op":"stats"}                    cache + server counters
+//   {"op":"stats"}                    cache (global + per-namespace), graph
+//                                     store, server counters, uptime
 //   {"op":"save_cache","path":"f"}    snapshot the response cache to disk
 //   {"op":"load_cache","path":"f"}    warm the response cache from disk
 //   {"op":"shutdown"}                 stop accepting, drain, exit
 //
 // Responses: {"ok":true,"op":...,...} on success;
-// {"ok":false,"code":"bad_request"|"unknown_solver"|"solver_failure"|
-//  "io_error","error":"message"} on failure. A solve response carries one
-// entry per input graph plus the batch's executor diagnostics:
+// {"ok":false,"code":"bad_request"|"unknown_solver"|"unknown_handle"|
+//  "solver_failure"|"io_error"|"server_busy","error":"message"} on failure.
+// A solve response carries one entry per input graph plus the batch's
+// executor diagnostics:
 //   {"ok":true,"op":"solve","responses":[{"solver":..,"problem":"mds",
 //    "solution":[..],"valid":true,"rounds":..,
 //    "traffic":{..}?,"ratio":{..}?}, ...],
+//    "namespace":"tenant-a",   // only when non-default
 //    "diag":{"threads":..,"shards":..,"stolen_shards":..,"cache_hits":..,
 //            "cache_misses":..,"cache_evictions":..}}
 //
@@ -30,13 +50,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "api/executor.hpp"
+#include "api/graph_store.hpp"
 #include "api/registry.hpp"
 #include "graph/graph.hpp"
 #include "server/json.hpp"
@@ -44,7 +68,14 @@
 namespace lmds::server {
 
 /// Wire-visible failure classes; the `code` field of an error line.
-enum class ErrorCode { BadRequest, UnknownSolver, SolverFailure, IoError };
+enum class ErrorCode {
+  BadRequest,
+  UnknownSolver,
+  UnknownHandle,
+  SolverFailure,
+  IoError,
+  ServerBusy,
+};
 
 std::string_view to_string(ErrorCode code);
 
@@ -63,18 +94,28 @@ class ProtocolError : public std::runtime_error {
 /// Request-size guard rails, enforced before any solver runs. Defaults are
 /// deliberately generous; lmds_serve exposes them as flags.
 struct ServerLimits {
-  std::size_t max_line_bytes = 8u << 20;  ///< one request line, newline included
+  std::size_t max_line_bytes = 8u << 20;  ///< one request line / HTTP body
   int max_graph_vertices = 1'000'000;     ///< per decoded graph
   std::size_t max_batch_graphs = 10'000;  ///< graphs per solve request
+  int max_request_threads = 64;           ///< cap on a per-request threads override
+  std::size_t max_namespace_bytes = 128;  ///< cap on a namespace tag
 };
 
+/// One entry of a solve request's "graphs" array: an inline edge-list graph
+/// (v1) or a graph-store handle (v2).
+using GraphRef = std::variant<graph::Graph, std::string>;
+
 /// A decoded solve request: the solver name, the request shape (options +
-/// flags; Request::graph stays null — batch entry points take the spans) and
-/// the decoded graphs.
+/// flags; Request::graph stays null — batch entry points take the spans),
+/// the graph references in request order, the per-request executor
+/// overrides (threads / shard_size / no_cache; the cache namespace is
+/// filled in by the Session from `ns` or its open_session state).
 struct SolveRequest {
   std::string solver;
   api::Request request;
-  std::vector<graph::Graph> graphs;
+  std::vector<GraphRef> graphs;
+  api::BatchOverrides overrides;
+  std::optional<std::string> ns;  ///< request-level namespace override
 };
 
 /// Decodes {"n":int?,"edges":[[u,v],...]} into a Graph. `n` is optional —
@@ -83,33 +124,52 @@ struct SolveRequest {
 /// limits.max_graph_vertices.
 graph::Graph decode_graph(const JsonValue& v, const ServerLimits& limits);
 
+/// The client-side inverse of decode_graph: encodes a Graph as the wire's
+/// {"n":..,"edges":[[u,v],...]} object (serve_client, benches — one encoder,
+/// so clients cannot drift from the protocol).
+std::string encode_graph_json(const graph::Graph& g);
+
 /// Decodes a parsed {"op":"solve",...} object. Validates the solver name
-/// against `registry` (UnknownSolver) and every option value's JSON type
+/// against `registry` (UnknownSolver), every option value's JSON type
 /// (BadRequest; int/bool/double map onto ParamValue, coercion rules are the
-/// registry's). Does not run anything.
+/// registry's), the per-request "batch" overrides against `limits`, and the
+/// namespace tag. Handles are validated for shape only — resolution against
+/// the store happens at execution time. Does not run anything.
 SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
                           const ServerLimits& limits);
+
+/// Validates a namespace tag: at most limits.max_namespace_bytes bytes, no
+/// control characters. Returns it; throws ProtocolError(BadRequest) else.
+std::string decode_namespace(const JsonValue& v, const ServerLimits& limits);
 
 /// One error line (no trailing newline), e.g.
 /// {"ok":false,"code":"bad_request","error":"..."}.
 std::string encode_error(ErrorCode code, std::string_view message);
 
-/// The solve success line: responses[i] answers graphs[i].
+/// The solve success line: responses[i] answers graphs[i]. A non-empty `ns`
+/// is echoed as a "namespace" member (absent for the default namespace, so
+/// v1 responses are byte-identical to before namespaces existed).
 std::string encode_solve_result(std::span<const api::Response> responses,
-                                const api::BatchDiagnostics& diag);
+                                const api::BatchDiagnostics& diag,
+                                std::string_view ns = {});
 
 /// The solvers success line: every registered SolverSpec with params.
 std::string encode_solvers(const api::Registry& registry);
 
 /// Lifetime counters a `stats` line reports next to the cache's.
 struct ServerCounters {
-  std::uint64_t connections = 0;  ///< connections accepted
+  std::uint64_t connections = 0;  ///< connections accepted and served
+  std::uint64_t rejected = 0;     ///< connections refused by --max-connections
   std::uint64_t requests = 0;     ///< request lines handled (any op)
   std::uint64_t graphs_solved = 0;  ///< graphs answered across solve ops
 };
 
-/// The stats success line.
-std::string encode_stats(const api::CacheStats& cache, const ServerCounters& server);
+/// The stats success line: global cache counters, the per-namespace slices,
+/// graph-store counters, server counters and uptime.
+std::string encode_stats(const api::CacheStats& cache,
+                         const std::map<std::string, api::NamespaceStats>& namespaces,
+                         const api::GraphStoreStats& store, const ServerCounters& server,
+                         double uptime_seconds);
 
 /// Generic {"ok":true,"op":<op>} line with optional extra fields appended
 /// verbatim (must be valid JSON object members, e.g. "\"entries\":3").

@@ -1,15 +1,20 @@
 #pragma once
-// The long-lived serving front-end: one Server owns one BatchExecutor (and
-// therefore one cross-request ResponseCache) and answers the newline-
-// delimited JSON protocol of protocol.hpp over a TCP socket.
+// The long-lived serving front-end: one Server owns one ServerCore (executor
+// + response cache + graph store, see session.hpp) and exposes it over two
+// transports at once — the newline-delimited JSON line protocol and the
+// HTTP/1.1 front-end (http.hpp) — each on its own TCP listener.
 //
 // Layering:
-//   * handle_line() is the socket-free core — one request line in, one
-//     response line out. All protocol tests drive this directly.
-//   * bind_and_listen()/serve() add the POSIX socket loop: one thread per
-//     connection (the executor is reentrant; concurrent connections share
-//     the response cache), a shutdown verb or request_stop() unblocks
-//     accept() and drains the connection threads.
+//   * ServerCore / Session (session.hpp) are the socket-free protocol core —
+//     one request in, one response out. All protocol tests drive them
+//     directly; Server::handle_line remains as the one-liner over an
+//     internal admin Session.
+//   * bind_and_listen()/serve() add the POSIX socket loop: poll() across
+//     the listeners, one thread per connection (the executor is reentrant;
+//     concurrent connections share the response cache and graph store), a
+//     shutdown verb or request_stop() unblocks the loop and drains the
+//     connection threads. Accepts beyond max_connections are answered with
+//     a server_busy error (503 over HTTP) and closed, never threaded.
 //
 // Cache persistence: the save_cache/load_cache verbs snapshot the executor's
 // ResponseCache (ResponseCache::serialize/deserialize), and lmds_serve's
@@ -28,19 +33,21 @@
 
 #include "api/executor.hpp"
 #include "server/protocol.hpp"
+#include "server/session.hpp"
 
 namespace lmds::server {
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
-  int port = 0;  ///< 0 = ephemeral; read the bound port from port()
-  api::BatchOptions batch{.threads = 1, .shard_size = 4, .cache_capacity = 1024};
-  ServerLimits limits;
-  /// Directory the save_cache/load_cache verbs resolve client-supplied paths
-  /// under. Clients may only name relative paths without ".." — they can
-  /// never write or probe outside this directory. Empty disables the two
-  /// verbs entirely (they answer bad_request).
-  std::string snapshot_dir = ".";
+  int port = 0;       ///< line protocol; 0 = ephemeral (read back via port())
+  int http_port = -1; ///< HTTP front-end; -1 disables it, 0 = ephemeral
+  /// Concurrent connections across both transports; accepts beyond the cap
+  /// are rejected with server_busy instead of spawning a thread.
+  std::size_t max_connections = 256;
+  /// Everything transport-independent (executor tuning, limits, graph-store
+  /// capacity, snapshot dir) lives in the embedded CoreOptions — one set of
+  /// defaults, shared with tests that build a ServerCore directly.
+  CoreOptions core;
 };
 
 class Server {
@@ -55,25 +62,30 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Handles one protocol line and returns the response line (no trailing
-  /// '\n'). Never throws for request-level failures — those become
-  /// {"ok":false,...} lines; only programming errors propagate.
+  /// '\n'). Stateless — a fresh Session per call, safe from any thread;
+  /// hold a Session over core() instead when open_session state matters.
+  /// Never throws for request-level failures.
   std::string handle_line(std::string_view line);
 
   /// True once a shutdown request was handled (or request_stop() called).
-  bool stopping() const { return stop_.load(); }
+  bool stopping() const { return core_.stopping(); }
 
+  /// The shared protocol core (executor, graph store, counters, limits).
+  ServerCore& core() { return core_; }
   /// The executor whose cache outlives individual requests.
-  api::BatchExecutor& executor() { return executor_; }
+  api::BatchExecutor& executor() { return core_.executor(); }
   const ServerOptions& options() const { return opts_; }
-  ServerCounters counters() const;
+  ServerCounters counters() const { return core_.counters(); }
 
-  /// Binds host:port and starts listening; throws std::runtime_error on
-  /// failure. After this, port() returns the actually-bound port.
+  /// Binds the line-protocol listener (and the HTTP one when
+  /// options().http_port >= 0); throws std::runtime_error on failure. After
+  /// this, port()/http_port() return the actually-bound ports.
   void bind_and_listen();
   int port() const { return bound_port_; }
+  int http_port() const { return bound_http_port_; }
 
-  /// Blocking accept loop; returns after a shutdown verb or request_stop().
-  /// All connection threads are joined before returning.
+  /// Blocking accept loop over both listeners; returns after a shutdown
+  /// verb or request_stop(). All connection threads are joined first.
   void serve();
 
   /// Thread-safe: unblocks serve() and closes open connections.
@@ -85,29 +97,28 @@ class Server {
   /// never closed concurrently with request_stop()'s shutdown(2).
   struct Connection {
     int fd = -1;
+    bool http = false;
     std::thread thread;
     std::atomic<bool> done{false};
   };
 
+  /// Binds host:port, returns {fd, bound_port}.
+  std::pair<int, int> bind_one(int port) const;
   void handle_connection(Connection* conn);
+  void serve_line_connection(int fd);
+  void serve_http_connection(int fd);
   /// Joins and frees finished connections (called from the accept loop, so
   /// a long-lived server does not accumulate one dead thread per client).
-  void reap_finished_locked();
-  /// Validates a client-supplied snapshot path and resolves it under
-  /// opts_.snapshot_dir; throws ProtocolError on traversal attempts.
-  std::string resolve_snapshot_path(const std::string& path) const;
+  /// Returns the number of connections still live.
+  std::size_t reap_finished_locked();
 
   ServerOptions opts_;
-  const api::Registry& registry_;
-  api::BatchExecutor executor_;
+  ServerCore core_;
 
-  std::atomic<bool> stop_{false};
   int listen_fd_ = -1;
+  int http_listen_fd_ = -1;
   int bound_port_ = 0;
-
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> graphs_solved_{0};
+  int bound_http_port_ = -1;
 
   std::mutex conn_mu_;
   std::vector<std::unique_ptr<Connection>> conns_;

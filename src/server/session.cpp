@@ -1,0 +1,227 @@
+#include "server/session.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "server/json.hpp"
+
+namespace lmds::server {
+
+ServerCore::ServerCore(CoreOptions opts, const api::Registry& registry)
+    : opts_(std::move(opts)),
+      registry_(registry),
+      executor_(opts_.batch, registry),
+      store_(opts_.store_capacity),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ServerCore::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+ServerCounters ServerCore::counters() const {
+  return {connections_.load(), rejected_.load(), requests_.load(), graphs_solved_.load()};
+}
+
+void ServerCore::request_stop() {
+  if (stop_.exchange(true)) return;
+  if (on_stop_) on_stop_();
+}
+
+std::string Session::handle_line(std::string_view line) {
+  JsonValue root;
+  try {
+    root = json_parse(line);
+  } catch (const JsonError& e) {
+    core_.count_request();
+    return encode_error(ErrorCode::BadRequest, std::string("invalid JSON: ") + e.what());
+  }
+  const JsonValue* op = root.find("op");
+  if (!op || op->type() != JsonValue::Type::String) {
+    core_.count_request();
+    return encode_error(ErrorCode::BadRequest, "request needs a string \"op\" field");
+  }
+  return dispatch(op->as_string(), root);
+}
+
+std::string Session::dispatch(std::string_view verb, const JsonValue& root) {
+  core_.count_request();
+  try {
+    if (verb == "solve") return do_solve(root);
+    if (verb == "put_graph") return do_put_graph(root);
+    if (verb == "drop_graph") return do_drop_graph(root);
+    if (verb == "open_session") return do_open_session(root);
+    if (verb == "solvers") return encode_solvers(core_.registry());
+    if (verb == "stats") return do_stats();
+    if (verb == "save_cache" || verb == "load_cache") return do_snapshot(verb, root);
+    if (verb == "shutdown") {
+      core_.request_stop();
+      return encode_ok("shutdown");
+    }
+    return encode_error(ErrorCode::BadRequest, "unknown op \"" + std::string(verb) + "\"");
+  } catch (const ProtocolError& e) {
+    return encode_error(e.code(), e.what());
+  }
+}
+
+std::string Session::do_solve(const JsonValue& root) {
+  SolveRequest req = decode_solve(root, core_.registry(), core_.options().limits);
+
+  // Resolve the graph references into one pointer span: inline graphs live
+  // in `decoded` (reserved up front — growth must not move earlier decodes),
+  // handles resolve against the store with their shared_ptrs held in
+  // `pinned` so a concurrent drop/evict cannot free a graph mid-batch.
+  std::vector<graph::Graph> decoded;
+  decoded.reserve(req.graphs.size());
+  std::vector<std::shared_ptr<const graph::Graph>> pinned;
+  std::vector<const graph::Graph*> ptrs;
+  ptrs.reserve(req.graphs.size());
+  // A handle IS its graph's fingerprint, so handle entries hand the
+  // executor a precomputed hash and skip the O(V+E) hash walk; inline
+  // entries leave 0 = "compute".
+  std::vector<std::uint64_t> hashes(req.graphs.size(), 0);
+  for (GraphRef& ref : req.graphs) {
+    if (const auto* handle = std::get_if<std::string>(&ref)) {
+      std::shared_ptr<const graph::Graph> g = core_.store().get(*handle);
+      if (!g) {
+        throw ProtocolError(ErrorCode::UnknownHandle,
+                            "unknown graph handle \"" + *handle +
+                                "\" (expired, dropped, or never put)");
+      }
+      hashes[ptrs.size()] = api::GraphStore::parse_handle(*handle).value_or(0);
+      ptrs.push_back(g.get());
+      pinned.push_back(std::move(g));
+    } else {
+      decoded.push_back(std::move(std::get<graph::Graph>(ref)));
+      ptrs.push_back(&decoded.back());
+    }
+  }
+
+  // Request-level namespace wins over the session's open_session choice.
+  req.overrides.cache_namespace = req.ns.value_or(ns_);
+
+  api::BatchDiagnostics diag;
+  std::vector<api::Response> responses;
+  try {
+    responses = core_.executor().run_batch(req.solver, {ptrs.data(), ptrs.size()},
+                                           req.request, req.overrides, &diag,
+                                           {hashes.data(), hashes.size()});
+  } catch (const api::RequestError& e) {
+    // Undeclared option, type mismatch, traffic on a centralized-only
+    // solver — the request's fault, not the solver's.
+    return encode_error(ErrorCode::BadRequest, e.what());
+  } catch (const std::exception& e) {
+    return encode_error(ErrorCode::SolverFailure,
+                        "solver '" + req.solver + "' failed: " + e.what());
+  }
+  core_.count_graphs(req.graphs.size());
+  return encode_solve_result({responses.data(), responses.size()}, diag,
+                             req.overrides.cache_namespace);
+}
+
+std::string Session::do_put_graph(const JsonValue& root) {
+  if (core_.store().capacity() == 0) {
+    // Not server_busy: with a zero-capacity store no drop_graph can ever
+    // free room, so telling the client to retry would loop forever.
+    throw ProtocolError(ErrorCode::BadRequest,
+                        "put_graph is disabled on this server (graph store capacity 0)");
+  }
+  const JsonValue* graph = root.find("graph");
+  if (!graph) {
+    throw ProtocolError(ErrorCode::BadRequest, "put_graph needs a \"graph\" object");
+  }
+  graph::Graph g = decode_graph(*graph, core_.options().limits);
+  api::GraphStore::PutResult put;
+  try {
+    put = core_.store().put(std::move(g));
+  } catch (const api::GraphStoreFull& e) {
+    // Retryable once a client drops a graph — busy, not malformed.
+    return encode_error(ErrorCode::ServerBusy, e.what());
+  }
+  std::string extra = "\"handle\":";
+  json_append_string(extra, put.handle);
+  extra += ",\"n\":" + std::to_string(put.vertices) + ",\"m\":" + std::to_string(put.edges) +
+           ",\"new\":" + (put.inserted ? std::string("true") : std::string("false"));
+  return encode_ok("put_graph", extra);
+}
+
+std::string Session::do_drop_graph(const JsonValue& root) {
+  const JsonValue* handle = root.find("handle");
+  if (!handle || handle->type() != JsonValue::Type::String) {
+    throw ProtocolError(ErrorCode::BadRequest, "drop_graph needs a string \"handle\" field");
+  }
+  if (!core_.store().drop(handle->as_string())) {
+    throw ProtocolError(ErrorCode::UnknownHandle,
+                        "unknown graph handle \"" + handle->as_string() + "\"");
+  }
+  std::string extra = "\"handle\":";
+  json_append_string(extra, handle->as_string());
+  return encode_ok("drop_graph", extra);
+}
+
+std::string Session::do_open_session(const JsonValue& root) {
+  std::string ns;
+  if (const JsonValue* v = root.find("namespace")) {
+    ns = decode_namespace(*v, core_.options().limits);
+  }
+  ns_ = std::move(ns);
+  std::string extra = "\"namespace\":";
+  json_append_string(extra, ns_);
+  return encode_ok("open_session", extra);
+}
+
+std::string Session::do_stats() {
+  api::BatchExecutor& executor = core_.executor();
+  std::map<std::string, api::NamespaceStats> namespaces =
+      executor.cache().namespace_stats();
+  if (!core_.options().stats_all_namespaces) {
+    // Don't leak other tenants' namespace tags: knowing a tag is all it
+    // takes to read that tenant's warm cache, so a client sees only its own
+    // slice (operators opt into the full map).
+    std::map<std::string, api::NamespaceStats> own;
+    if (const auto it = namespaces.find(ns_); it != namespaces.end()) own.insert(*it);
+    namespaces = std::move(own);
+  }
+  return encode_stats(executor.cache_stats(), namespaces, core_.store().stats(),
+                      core_.counters(), core_.uptime_seconds());
+}
+
+std::string Session::do_snapshot(std::string_view verb, const JsonValue& root) {
+  const JsonValue* path = root.find("path");
+  if (!path || path->type() != JsonValue::Type::String) {
+    return encode_error(ErrorCode::BadRequest,
+                        "\"" + std::string(verb) + "\" needs a string \"path\" field");
+  }
+  const std::string resolved = resolve_snapshot_path(path->as_string());
+  try {
+    if (verb == "save_cache") {
+      core_.executor().cache().save_file(resolved);
+    } else {
+      core_.executor().cache().load_file(resolved);
+    }
+  } catch (const std::exception& e) {
+    return encode_error(ErrorCode::IoError, e.what());
+  }
+  std::string extra = "\"path\":";
+  json_append_string(extra, path->as_string());
+  extra += ",\"entries\":" + std::to_string(core_.executor().cache_stats().size);
+  return encode_ok(verb, extra);
+}
+
+std::string Session::resolve_snapshot_path(const std::string& path) const {
+  const std::string& dir = core_.options().snapshot_dir;
+  if (dir.empty()) {
+    throw ProtocolError(ErrorCode::BadRequest,
+                        "snapshot verbs are disabled (no snapshot directory configured)");
+  }
+  // Clients name snapshots, not filesystem locations: a relative path with
+  // no ".." segment, resolved under the operator-chosen directory. Anything
+  // else could truncate/probe arbitrary files the server can access.
+  if (path.empty() || path.front() == '/' || path.find("..") != std::string::npos) {
+    throw ProtocolError(ErrorCode::BadRequest,
+                        "snapshot path must be relative without \"..\" (it resolves "
+                        "under the server's snapshot directory)");
+  }
+  return dir + "/" + path;
+}
+
+}  // namespace lmds::server

@@ -1,0 +1,131 @@
+#pragma once
+// The transport-agnostic serving core (protocol v2). Everything that used to
+// live inside Server::handle_line is here, split into two pieces so any
+// number of transports (the TCP line protocol, the HTTP front-end, tests,
+// future replication) can share one process-wide state:
+//
+//  * ServerCore — the shared, thread-safe state: one BatchExecutor (and its
+//    ResponseCache), one GraphStore, the request limits, the snapshot
+//    directory, lifetime counters, uptime, and the stop flag + callback.
+//  * Session — one client's view of the core. A Session is cheap, owned by
+//    one connection (or one test), and carries the only piece of per-client
+//    protocol state: the cache namespace selected with open_session. It is
+//    NOT thread-safe — one Session per connection/thread.
+//
+// Session::handle_line is the whole wire protocol: one JSON request line in,
+// one JSON response line out, no sockets involved. dispatch() is the same
+// entry one level down (verb + parsed body) for transports like HTTP whose
+// framing already separated the two.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "api/executor.hpp"
+#include "api/graph_store.hpp"
+#include "api/registry.hpp"
+#include "server/protocol.hpp"
+
+namespace lmds::server {
+
+/// Configuration of a ServerCore — the transport-independent subset of what
+/// lmds_serve exposes as flags.
+struct CoreOptions {
+  api::BatchOptions batch{.threads = 1, .shard_size = 4, .cache_capacity = 1024};
+  ServerLimits limits;
+  /// Graph-store capacity in graphs (see api::GraphStore; 0 disables
+  /// put_graph).
+  std::size_t store_capacity = 1024;
+  /// Namespace tags are the only thing separating tenants, so by default a
+  /// stats request reports only the caller's own namespace slice. True
+  /// exposes every namespace's counters (operator/debug deployments).
+  bool stats_all_namespaces = false;
+  /// Directory the save_cache/load_cache verbs resolve client-supplied paths
+  /// under. Clients may only name relative paths without ".." — they can
+  /// never write or probe outside this directory. Empty disables the two
+  /// verbs entirely (they answer bad_request).
+  std::string snapshot_dir = ".";
+};
+
+class ServerCore {
+ public:
+  ServerCore(CoreOptions opts, const api::Registry& registry);
+
+  const CoreOptions& options() const { return opts_; }
+  const api::Registry& registry() const { return registry_; }
+  api::BatchExecutor& executor() { return executor_; }
+  api::GraphStore& store() { return store_; }
+
+  /// Seconds since this core was constructed.
+  double uptime_seconds() const;
+
+  ServerCounters counters() const;
+  void count_connection() { connections_.fetch_add(1, std::memory_order_relaxed); }
+  void count_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void count_request() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void count_graphs(std::uint64_t n) { graphs_solved_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// True once a shutdown verb was handled or request_stop() called.
+  bool stopping() const { return stop_.load(); }
+  /// Idempotent; invokes the on_stop callback (set by the socket owner to
+  /// unblock its accept loop) exactly once.
+  void request_stop();
+  /// Transport hook fired by the first request_stop(). Set before serving.
+  void set_stop_callback(std::function<void()> cb) { on_stop_ = std::move(cb); }
+
+ private:
+  CoreOptions opts_;
+  const api::Registry& registry_;
+  api::BatchExecutor executor_;
+  api::GraphStore store_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::atomic<bool> stop_{false};
+  std::function<void()> on_stop_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> graphs_solved_{0};
+};
+
+class Session {
+ public:
+  explicit Session(ServerCore& core) : core_(core) {}
+
+  /// Handles one protocol line and returns the response line (no trailing
+  /// '\n'). Never throws for request-level failures — those become
+  /// {"ok":false,...} lines; only programming errors propagate.
+  std::string handle_line(std::string_view line);
+
+  /// The framing-free entry: `root` is the parsed request body, `verb` the
+  /// operation (from the body's "op" over the line protocol, from the route
+  /// over HTTP). Counts the request and returns the response body.
+  std::string dispatch(std::string_view verb, const JsonValue& root);
+
+  /// This session's cache namespace ("" = default). Selected by the
+  /// open_session verb; HTTP sets it per request from a header.
+  const std::string& ns() const { return ns_; }
+  void set_ns(std::string ns) { ns_ = std::move(ns); }
+
+  ServerCore& core() { return core_; }
+
+ private:
+  std::string do_solve(const JsonValue& root);
+  std::string do_put_graph(const JsonValue& root);
+  std::string do_drop_graph(const JsonValue& root);
+  std::string do_open_session(const JsonValue& root);
+  std::string do_stats();
+  std::string do_snapshot(std::string_view verb, const JsonValue& root);
+  /// Validates a client-supplied snapshot path and resolves it under the
+  /// core's snapshot_dir; throws ProtocolError on traversal attempts.
+  std::string resolve_snapshot_path(const std::string& path) const;
+
+  ServerCore& core_;
+  std::string ns_;
+};
+
+}  // namespace lmds::server

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/graph_store.hpp"
 #include "api/registry.hpp"
 #include "ding/generators.hpp"
 #include "graph/generators.hpp"
@@ -86,7 +87,11 @@ TEST(GraphHash, SensitiveToSingleEdge) {
 // ResponseCache unit behaviour
 
 CacheKey key_of(int tag) {
-  return CacheKey{static_cast<std::uint64_t>(tag), "solver", "opts"};
+  return CacheKey{static_cast<std::uint64_t>(tag), "solver", "opts", ""};
+}
+
+CacheKey key_in_ns(int tag, std::string ns) {
+  return CacheKey{static_cast<std::uint64_t>(tag), "solver", "opts", std::move(ns)};
 }
 
 Response response_of(int tag) {
@@ -612,6 +617,291 @@ TEST(ParamValue, ParseParamValueRejectsMalformedAndOutOfRange) {
   }
   EXPECT_FALSE(parse_param_value("yes", T::Bool).has_value());
   EXPECT_FALSE(parse_param_value("TRUE", T::Bool).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Cache namespaces (protocol v2): isolation, per-namespace counters,
+// snapshot round trip and read-compat with the pre-namespace format.
+
+TEST(ResponseCache, NamespacesNeverShareEntries) {
+  ResponseCache cache(8);
+  cache.insert(key_in_ns(1, ""), response_of(1));
+  EXPECT_FALSE(cache.lookup(key_in_ns(1, "tenant-a")).has_value());
+  cache.insert(key_in_ns(1, "tenant-a"), response_of(2));
+  // Same (hash, solver, options) — distinct namespaces hold distinct values.
+  EXPECT_EQ(cache.lookup(key_in_ns(1, ""))->solution, response_of(1).solution);
+  EXPECT_EQ(cache.lookup(key_in_ns(1, "tenant-a"))->solution, response_of(2).solution);
+
+  const auto ns = cache.namespace_stats();
+  ASSERT_TRUE(ns.contains(""));
+  ASSERT_TRUE(ns.contains("tenant-a"));
+  EXPECT_EQ(ns.at("").size, 1u);
+  EXPECT_EQ(ns.at("").hits, 1u);
+  EXPECT_EQ(ns.at("tenant-a").size, 1u);
+  EXPECT_EQ(ns.at("tenant-a").hits, 1u);
+  EXPECT_EQ(ns.at("tenant-a").misses, 1u);
+}
+
+TEST(ResponseCache, EvictionChargedToTheNamespaceLosingTheEntry) {
+  ResponseCache cache(2);  // capacity is shared across namespaces
+  cache.insert(key_in_ns(1, "a"), response_of(1));
+  cache.insert(key_in_ns(2, "b"), response_of(2));
+  cache.insert(key_in_ns(3, "b"), response_of(3));  // evicts a's entry (LRU)
+  const auto ns = cache.namespace_stats();
+  EXPECT_EQ(ns.at("a").evictions, 1u);
+  EXPECT_EQ(ns.at("a").size, 0u);
+  EXPECT_EQ(ns.at("b").evictions, 0u);
+  EXPECT_EQ(ns.at("b").size, 2u);
+  EXPECT_FALSE(cache.lookup(key_in_ns(1, "a")).has_value());
+}
+
+TEST(ResponseCache, NamespaceCountersAreBoundedAgainstTenantChurn) {
+  // Namespaces are client-supplied: a stream of never-repeating tenant tags
+  // must not grow the counter map without bound. Counters of namespaces
+  // holding no entries are pruned once ~1024 are tracked.
+  ResponseCache cache(4);
+  for (int i = 0; i < 1500; ++i) {
+    cache.insert(key_in_ns(i, "tenant-" + std::to_string(i)), response_of(i));
+  }
+  EXPECT_LE(cache.namespace_stats().size(), 1025u);
+  // The namespaces still holding entries (the 4 most recent) survived.
+  EXPECT_EQ(cache.namespace_stats().at("tenant-1499").size, 1u);
+}
+
+TEST(ResponseCache, SnapshotRoundTripPreservesNamespaces) {
+  ResponseCache cache(4);
+  cache.insert(key_in_ns(1, ""), response_of(1));
+  cache.insert(key_in_ns(1, "tenant-a"), response_of(2));
+  std::stringstream snapshot(std::ios::in | std::ios::out | std::ios::binary);
+  cache.serialize(snapshot);
+
+  ResponseCache restored(4);
+  restored.deserialize(snapshot);
+  EXPECT_EQ(restored.lookup(key_in_ns(1, ""))->solution, response_of(1).solution);
+  EXPECT_EQ(restored.lookup(key_in_ns(1, "tenant-a"))->solution, response_of(2).solution);
+  const auto ns = restored.namespace_stats();
+  EXPECT_EQ(ns.at("").size, 1u);
+  EXPECT_EQ(ns.at("tenant-a").size, 1u);
+}
+
+TEST(ResponseCache, ReadsVersion1SnapshotsIntoDefaultNamespace) {
+  // A hand-written version-1 snapshot (the pre-namespace format): one entry,
+  // key (7, "solver", "opts"), minimal Response {solver, solution=[5],
+  // valid}. Byte-for-byte what PR 4's serialize() wrote — the compat
+  // contract is that v2 still loads it, placing the entry in namespace "".
+  std::string bytes;
+  const auto put_u8 = [&](std::uint8_t v) { bytes.push_back(static_cast<char>(v)); };
+  const auto put_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto put_str = [&](std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    bytes.append(s);
+  };
+  bytes = "LMDSCACH";
+  put_u32(1);  // version 1: no ns field per entry
+  put_u64(1);  // one entry
+  put_u64(7);  // key.graph_hash
+  put_str("solver");
+  put_str("opts");
+  // Response: solver, problem, solution, valid, ratio, ratio_measured, diag.
+  put_str("solver");
+  put_u8(0);   // Problem::Mds
+  put_u32(1);  // |solution|
+  put_u32(5);  // solution[0]
+  put_u8(1);   // valid
+  put_u32(0);  // ratio.solution_size
+  put_u32(0);  // ratio.reference
+  put_u8(0);   // ratio.exact
+  put_u64(0);  // ratio.ratio (0.0 bits)
+  put_u8(0);   // ratio_measured
+  put_u32(static_cast<std::uint32_t>(-1));  // diag.rounds = -1
+  put_u32(0);  // traffic.rounds
+  put_u64(0);  // traffic.messages
+  put_u64(0);  // traffic.bytes
+  put_u8(0);   // traffic_measured
+  put_u32(0);  // twin_classes
+  put_u32(0);  // one_cuts
+  put_u32(0);  // two_cut_vertices
+  put_u32(0);  // brute_forced
+  put_u32(0);  // residual_components
+  put_u32(0);  // max_residual_diameter
+  put_u64(0x4C4D44534E415053ULL);  // footer "LMDSNAPS"
+
+  ResponseCache cache(4);
+  std::stringstream snapshot(bytes, std::ios::in | std::ios::binary);
+  cache.deserialize(snapshot);
+  const auto hit = cache.lookup(CacheKey{7, "solver", "opts", ""});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution, std::vector<Vertex>{5});
+  EXPECT_FALSE(cache.lookup(CacheKey{7, "solver", "opts", "tenant-a"}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// GraphStore: content-addressed handles, refcounts, capacity eviction
+
+TEST(GraphStore, HandlesRoundTripAndRejectMalformedSpellings) {
+  EXPECT_EQ(GraphStore::handle_for(0), "g0000000000000000");
+  EXPECT_EQ(GraphStore::handle_for(0xDEADBEEFULL), "g00000000deadbeef");
+  for (const std::uint64_t h : {std::uint64_t{0}, std::uint64_t{0xDEADBEEF},
+                                ~std::uint64_t{0}}) {
+    EXPECT_EQ(GraphStore::parse_handle(GraphStore::handle_for(h)), h);
+  }
+  for (const char* bad : {"", "g", "x0000000000000000", "g00000000deadbee",
+                          "g00000000deadbeef0", "g00000000DEADBEEF", "g00000000deadbeeg"}) {
+    EXPECT_FALSE(GraphStore::parse_handle(bad).has_value()) << "accepted: " << bad;
+  }
+}
+
+TEST(GraphStore, PutIsContentAddressedAndRefcounted) {
+  GraphStore store(4);
+  const auto first = store.put(graph::gen::path(5));
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.vertices, 5);
+  EXPECT_EQ(first.edges, 4);
+  const auto second = store.put(graph::gen::path(5));  // identical content
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(second.handle, first.handle);
+  EXPECT_EQ(store.stats().size, 1u);
+  EXPECT_EQ(store.stats().reuses, 1u);
+
+  const auto resolved = store.get(first.handle);
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(*resolved, graph::gen::path(5));
+
+  // Two puts need two drops before the entry is unpinned; a third drop has
+  // nothing left to release.
+  EXPECT_TRUE(store.drop(first.handle));
+  EXPECT_EQ(store.stats().pinned, 1u);
+  EXPECT_TRUE(store.drop(first.handle));
+  EXPECT_EQ(store.stats().pinned, 0u);
+  EXPECT_FALSE(store.drop(first.handle));
+  // Unpinned but not evicted: still resolvable until capacity pressure.
+  EXPECT_NE(store.get(first.handle), nullptr);
+}
+
+TEST(GraphStore, CapacityEvictsUnpinnedLruAndRefusesWhenAllPinned) {
+  GraphStore store(2);
+  const auto a = store.put(graph::gen::path(3));
+  const auto b = store.put(graph::gen::cycle(4));
+  EXPECT_THROW(store.put(graph::gen::star(5)), GraphStoreFull);  // both pinned
+
+  EXPECT_TRUE(store.drop(a.handle));  // a unpinned -> evictable
+  const auto c = store.put(graph::gen::star(5));
+  EXPECT_TRUE(c.inserted);
+  EXPECT_EQ(store.get(a.handle), nullptr);  // evicted
+  EXPECT_NE(store.get(b.handle), nullptr);
+  EXPECT_EQ(store.stats().evictions, 1u);
+
+  // A graph a solve is still holding survives its eviction (shared_ptr).
+  const auto pinned_by_solve = store.get(b.handle);
+  EXPECT_TRUE(store.drop(b.handle));
+  EXPECT_TRUE(store.drop(c.handle));
+  (void)store.put(graph::gen::grid(2, 3));
+  (void)store.put(graph::gen::grid(2, 4));
+  EXPECT_EQ(*pinned_by_solve, graph::gen::cycle(4));
+}
+
+TEST(GraphStore, ZeroCapacityDisablesPuts) {
+  GraphStore store(0);
+  EXPECT_THROW(store.put(graph::gen::path(3)), GraphStoreFull);
+}
+
+// ---------------------------------------------------------------------------
+// BatchOverrides: per-request executor knobs (protocol v2)
+
+TEST(BatchExecutor, OverridesChangeThreadsAndShardsForOneBatchOnly) {
+  const auto graphs = generator_suite();
+  BatchExecutor executor({.threads = 1, .shard_size = 4, .cache_capacity = 0});
+  Request req;
+
+  BatchDiagnostics diag;
+  BatchOverrides over;
+  over.threads = 3;
+  over.shard_size = 1;
+  const auto overridden =
+      executor.run_batch("greedy", span_of(graphs), req, over, &diag);
+  EXPECT_EQ(diag.threads, 3);
+  EXPECT_EQ(diag.shards, static_cast<int>(graphs.size()));
+
+  BatchDiagnostics plain;
+  const auto defaults = executor.run_batch("greedy", span_of(graphs), req, &plain);
+  EXPECT_EQ(plain.threads, 1);  // the configured defaults are untouched
+  EXPECT_EQ(overridden, defaults);  // determinism across worker counts
+
+  BatchOverrides bad;
+  bad.shard_size = 0;
+  EXPECT_THROW((void)executor.run_batch("greedy", span_of(graphs), req, bad, nullptr),
+               RequestError);
+}
+
+TEST(BatchExecutor, BypassCacheComputesFreshAndLeavesCacheUntouched) {
+  const auto graphs = generator_suite();
+  BatchExecutor executor({.threads = 2, .shard_size = 2, .cache_capacity = 64});
+  Request req;
+  (void)executor.run_batch("greedy", span_of(graphs), req, nullptr);  // fill
+  const CacheStats before = executor.cache_stats();
+  EXPECT_EQ(before.size, graphs.size());
+
+  BatchOverrides over;
+  over.bypass_cache = true;
+  BatchDiagnostics diag;
+  const auto fresh = executor.run_batch("greedy", span_of(graphs), req, over, &diag);
+  EXPECT_EQ(diag.cache_hits, 0u);    // did not read
+  EXPECT_EQ(diag.cache_misses, 0u);  // did not write
+  EXPECT_EQ(executor.cache_stats(), before);  // cache bit-identical
+
+  // And the bypass run computed the same responses a cached run returns.
+  EXPECT_EQ(fresh, executor.run_batch("greedy", span_of(graphs), req, nullptr));
+}
+
+TEST(BatchExecutor, CacheNamespacesIsolateIdenticalRequests) {
+  const auto graphs = generator_suite();
+  BatchExecutor executor({.threads = 2, .shard_size = 2, .cache_capacity = 256});
+  Request req;
+
+  BatchOverrides tenant_a;
+  tenant_a.cache_namespace = "tenant-a";
+  BatchDiagnostics first;
+  (void)executor.run_batch("greedy", span_of(graphs), req, tenant_a, &first);
+  EXPECT_EQ(first.cache_misses, graphs.size());
+
+  // Same graphs + solver + options in another namespace: all misses again.
+  BatchOverrides tenant_b;
+  tenant_b.cache_namespace = "tenant-b";
+  BatchDiagnostics second;
+  (void)executor.run_batch("greedy", span_of(graphs), req, tenant_b, &second);
+  EXPECT_EQ(second.cache_hits, 0u);
+  EXPECT_EQ(second.cache_misses, graphs.size());
+
+  // Back in the first namespace: all hits.
+  BatchDiagnostics third;
+  (void)executor.run_batch("greedy", span_of(graphs), req, tenant_a, &third);
+  EXPECT_EQ(third.cache_hits, graphs.size());
+  EXPECT_EQ(third.cache_misses, 0u);
+
+  const auto ns = executor.cache().namespace_stats();
+  EXPECT_EQ(ns.at("tenant-a").size, graphs.size());
+  EXPECT_EQ(ns.at("tenant-b").size, graphs.size());
+  EXPECT_EQ(ns.at("tenant-a").hits, graphs.size());
+}
+
+TEST(BatchExecutor, PointerSpanBatchesMatchValueSpans) {
+  const auto graphs = generator_suite();
+  std::vector<const Graph*> ptrs;
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+
+  BatchExecutor executor({.threads = 2, .shard_size = 2, .cache_capacity = 0});
+  Request req;
+  req.measure_ratio = true;
+  const auto by_value = executor.run_batch("theorem44", span_of(graphs), req, nullptr);
+  const auto by_pointer = executor.run_batch(
+      "theorem44", std::span<const Graph* const>{ptrs.data(), ptrs.size()}, req,
+      BatchOverrides{}, nullptr);
+  EXPECT_EQ(by_value, by_pointer);
 }
 
 TEST(ParamValue, BuiltinTwinRemovalIsBoolTyped) {

@@ -1,23 +1,29 @@
 // Tests for the serving subsystem: the minimal JSON layer, protocol
-// decode/encode (graph decode, solve requests, error classes), the Server's
-// socket-free handle_line() core (round-trips, malformed-request rejection,
-// admin verbs, cache snapshot save/load/warm-hit) and one real TCP
-// round-trip over the loopback interface.
+// decode/encode (graph decode, solve requests, error classes), the
+// socket-free Session core (v1 round-trips, protocol-v2 graph handles,
+// namespaces, per-request overrides, malformed-request rejection, admin
+// verbs, cache snapshot save/load/warm-hit), the HTTP front-end (routing,
+// status mapping), and real TCP round-trips over the loopback interface for
+// both transports.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/registry.hpp"
 #include "graph/generators.hpp"
+#include "server/http.hpp"
 #include "server/json.hpp"
 #include "server/net.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
+#include "server/session.hpp"
 
 namespace lmds::server {
 namespace {
@@ -157,10 +163,10 @@ std::vector<Graph> suite() {
 
 ServerOptions test_options(std::size_t cache_capacity = 64) {
   ServerOptions opts;
-  opts.batch.threads = 2;
-  opts.batch.shard_size = 1;
-  opts.batch.cache_capacity = cache_capacity;
-  opts.snapshot_dir = testing::TempDir();  // client snapshot verbs resolve here
+  opts.core.batch.threads = 2;
+  opts.core.batch.shard_size = 1;
+  opts.core.batch.cache_capacity = cache_capacity;
+  opts.core.snapshot_dir = testing::TempDir();  // client snapshot verbs resolve here
   return opts;
 }
 
@@ -218,8 +224,8 @@ TEST(ServerCore, EmptyBatchIsValidAndEmpty) {
 
 TEST(ServerCore, ErrorClassesAreDistinguished) {
   ServerOptions opts = test_options();
-  opts.limits.max_graph_vertices = 10;
-  opts.limits.max_batch_graphs = 2;
+  opts.core.limits.max_graph_vertices = 10;
+  opts.core.limits.max_batch_graphs = 2;
   Server server(opts);
 
   struct Case {
@@ -357,7 +363,7 @@ TEST(ServerCore, SnapshotSaveLoadWarmHitAcrossServerInstances) {
 
 TEST(ServerCore, SnapshotVerbsDisabledWithoutSnapshotDir) {
   ServerOptions opts = test_options();
-  opts.snapshot_dir.clear();
+  opts.core.snapshot_dir.clear();
   Server server(opts);
   const JsonValue response = json_parse(
       server.handle_line(R"({"op":"save_cache","path":"x.bin"})"));
@@ -385,6 +391,357 @@ TEST(ServerCore, CorruptSnapshotIsRejectedWithoutClearingCache) {
   EXPECT_EQ(warm.find("diag")->find("cache_hits")->as_int(),
             static_cast<std::int64_t>(suite().size()));
   std::remove(temp_path(path).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: graph handles, namespaces, per-request overrides
+
+TEST(ServerCore, V1InlineSolveResponseShapeUnchanged) {
+  // The back-compat contract: a request that names no v2 field is answered
+  // exactly as PR 4 answered it — same member order, no "namespace" member.
+  Server server(test_options());
+  const std::string line = "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":" +
+                           graphs_json(suite()) + "}";
+  const std::string response = server.handle_line(line);
+  EXPECT_TRUE(response.starts_with("{\"ok\":true,\"op\":\"solve\",\"responses\":["));
+  EXPECT_EQ(response.find("\"namespace\""), std::string::npos);
+  const JsonValue parsed = json_parse(response);
+  ASSERT_TRUE(parsed.find("ok")->as_bool());
+  EXPECT_EQ(parsed.find("responses")->as_array().size(), suite().size());
+}
+
+TEST(ServerCore, SolveByHandleMatchesInlineSolve) {
+  Server server(test_options());
+  const std::vector<Graph> gs = suite();
+
+  // Upload every graph; solve by handle; compare with the inline payload
+  // from a second, independent server (so cache diag differences in this
+  // server cannot mask a payload difference).
+  std::string handles = "[";
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    const JsonValue put = json_parse(server.handle_line(
+        "{\"op\":\"put_graph\",\"graph\":" + graphs_json({gs[i]}).substr(1,
+            graphs_json({gs[i]}).size() - 2) + "}"));
+    ASSERT_TRUE(put.find("ok")->as_bool());
+    EXPECT_TRUE(put.find("new")->as_bool());
+    if (i) handles += ',';
+    handles += '"' + put.find("handle")->as_string() + '"';
+  }
+  handles += ']';
+
+  const auto payload_of = [](const std::string& line) {
+    return line.substr(0, line.find("\"diag\""));
+  };
+  const std::string by_handle = server.handle_line(
+      "{\"op\":\"solve\",\"solver\":\"theorem44\",\"measure_ratio\":true,\"graphs\":" +
+      handles + "}");
+  Server fresh(test_options());
+  const std::string inline_solve = fresh.handle_line(
+      "{\"op\":\"solve\",\"solver\":\"theorem44\",\"measure_ratio\":true,\"graphs\":" +
+      graphs_json(gs) + "}");
+  EXPECT_EQ(payload_of(by_handle), payload_of(inline_solve));
+}
+
+TEST(ServerCore, MixedHandleAndInlineBatchAnswersInOrder) {
+  Server server(test_options());
+  const Graph path = graph::gen::path(8);
+  const Graph cycle = graph::gen::cycle(7);
+  const JsonValue put = json_parse(server.handle_line(
+      "{\"op\":\"put_graph\",\"graph\":{\"n\":8,\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,5],"
+      "[5,6],[6,7]]}}"));
+  ASSERT_TRUE(put.find("ok")->as_bool());
+  const std::string handle = put.find("handle")->as_string();
+
+  const JsonValue mixed = json_parse(server.handle_line(
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":[\"" + handle + "\"," +
+      graphs_json({cycle}).substr(1, graphs_json({cycle}).size() - 2) + "]}"));
+  ASSERT_TRUE(mixed.find("ok")->as_bool());
+  const auto& responses = mixed.find("responses")->as_array();
+  ASSERT_EQ(responses.size(), 2u);
+
+  api::Request req;
+  const auto direct_path = api::Registry::instance().run_batch("greedy", {&path, 1}, req);
+  const auto direct_cycle = api::Registry::instance().run_batch("greedy", {&cycle, 1}, req);
+  EXPECT_EQ(responses[0].find("solution")->as_array().size(),
+            direct_path[0].solution.size());
+  EXPECT_EQ(responses[1].find("solution")->as_array().size(),
+            direct_cycle[0].solution.size());
+}
+
+TEST(ServerCore, PutGraphIsContentAddressed) {
+  Server server(test_options());
+  const std::string put_line =
+      "{\"op\":\"put_graph\",\"graph\":{\"n\":4,\"edges\":[[0,1],[1,2],[2,3]]}}";
+  const JsonValue first = json_parse(server.handle_line(put_line));
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  EXPECT_TRUE(first.find("new")->as_bool());
+  EXPECT_EQ(first.find("n")->as_int(), 4);
+  EXPECT_EQ(first.find("m")->as_int(), 3);
+  const JsonValue second = json_parse(server.handle_line(put_line));
+  EXPECT_FALSE(second.find("new")->as_bool());
+  EXPECT_EQ(second.find("handle")->as_string(), first.find("handle")->as_string());
+}
+
+TEST(ServerCore, HandleErrorPaths) {
+  ServerOptions opts = test_options();
+  opts.core.limits.max_graph_vertices = 10;
+  opts.core.store_capacity = 1;
+  Server server(opts);
+
+  // Well-formed but never-uploaded handle: unknown_handle.
+  const JsonValue unknown = json_parse(server.handle_line(
+      R"({"op":"solve","solver":"greedy","graphs":["g0123456789abcdef"]})"));
+  EXPECT_FALSE(unknown.find("ok")->as_bool());
+  EXPECT_EQ(unknown.find("code")->as_string(), "unknown_handle");
+
+  // Malformed handle spelling: caught at decode as bad_request.
+  const JsonValue malformed = json_parse(server.handle_line(
+      R"({"op":"solve","solver":"greedy","graphs":["not-a-handle"]})"));
+  EXPECT_EQ(malformed.find("code")->as_string(), "bad_request");
+
+  // Oversized put_graph: the same limit inline solve graphs obey.
+  const JsonValue oversized = json_parse(server.handle_line(
+      R"({"op":"put_graph","graph":{"n":11,"edges":[]}})"));
+  EXPECT_EQ(oversized.find("code")->as_string(), "bad_request");
+
+  // put -> drop -> solve: the dropped-and-evicted handle is unknown. With
+  // store capacity 1, putting a second graph evicts the unpinned first.
+  const JsonValue put = json_parse(server.handle_line(
+      R"({"op":"put_graph","graph":{"n":3,"edges":[[0,1],[1,2]]}})"));
+  ASSERT_TRUE(put.find("ok")->as_bool());
+  const std::string handle = put.find("handle")->as_string();
+  const JsonValue dropped = json_parse(server.handle_line(
+      "{\"op\":\"drop_graph\",\"handle\":\"" + handle + "\"}"));
+  EXPECT_TRUE(dropped.find("ok")->as_bool());
+  (void)server.handle_line(R"({"op":"put_graph","graph":{"n":2,"edges":[[0,1]]}})");
+  const JsonValue gone = json_parse(server.handle_line(
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":[\"" + handle + "\"]}"));
+  EXPECT_EQ(gone.find("code")->as_string(), "unknown_handle");
+
+  // drop of a never-stored handle: unknown_handle.
+  const JsonValue redrop = json_parse(server.handle_line(
+      R"({"op":"drop_graph","handle":"g0123456789abcdef"})"));
+  EXPECT_EQ(redrop.find("code")->as_string(), "unknown_handle");
+
+  // Store full (capacity 1, one pinned graph): server_busy, retryable.
+  const JsonValue full = json_parse(server.handle_line(
+      R"({"op":"put_graph","graph":{"n":5,"edges":[[0,1],[1,2],[2,3],[3,4]]}})"));
+  EXPECT_FALSE(full.find("ok")->as_bool());
+  EXPECT_EQ(full.find("code")->as_string(), "server_busy");
+
+  // A zero-capacity store is *disabled*, not busy: no drop can ever free
+  // room, so telling the client to retry would be a lie.
+  ServerOptions disabled = test_options();
+  disabled.core.store_capacity = 0;
+  Server no_store(disabled);
+  const JsonValue off = json_parse(no_store.handle_line(
+      R"({"op":"put_graph","graph":{"n":2,"edges":[[0,1]]}})"));
+  EXPECT_EQ(off.find("code")->as_string(), "bad_request");
+}
+
+TEST(ServerCore, NamespacesIsolateCacheEntries) {
+  // open_session state is per-Session (one per connection); Server's own
+  // handle_line is deliberately stateless, so this test holds a Session.
+  ServerOptions all_ns = test_options();
+  all_ns.core.stats_all_namespaces = true;  // operator mode: full stats map
+  Server server(all_ns);
+  Session session(server.core());
+  const std::string solve = "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":" +
+                            graphs_json(suite()) + "}";
+  const auto hits_of = [&](const std::string& line) {
+    return json_parse(session.handle_line(line)).find("diag")->find("cache_hits")->as_int();
+  };
+  const auto n = static_cast<std::int64_t>(suite().size());
+
+  // Default namespace: second identical solve is all hits.
+  EXPECT_EQ(hits_of(solve), 0);
+  EXPECT_EQ(hits_of(solve), n);
+
+  // Same graphs+solver under open_session "tenant-a": cold again.
+  const JsonValue opened = json_parse(session.handle_line(
+      R"({"op":"open_session","namespace":"tenant-a"})"));
+  ASSERT_TRUE(opened.find("ok")->as_bool());
+  EXPECT_EQ(opened.find("namespace")->as_string(), "tenant-a");
+  EXPECT_EQ(hits_of(solve), 0);
+  EXPECT_EQ(hits_of(solve), n);
+
+  // A per-request "namespace" field overrides the session's choice, and the
+  // response echoes it. (A stateless Server::handle_line call reaches the
+  // same cache — the namespaces live in the shared core, not the session.)
+  const std::string in_b = "{\"op\":\"solve\",\"solver\":\"greedy\",\"namespace\":\"tenant-b\","
+                           "\"graphs\":" + graphs_json(suite()) + "}";
+  const JsonValue b_cold = json_parse(server.handle_line(in_b));
+  EXPECT_EQ(b_cold.find("diag")->find("cache_hits")->as_int(), 0);
+  EXPECT_EQ(b_cold.find("namespace")->as_string(), "tenant-b");
+
+  // Back to the default namespace: still warm from the first pass.
+  (void)session.handle_line(R"({"op":"open_session"})");
+  EXPECT_EQ(hits_of(solve), n);
+
+  // Stats reports all three namespaces with their own counters.
+  const JsonValue stats = json_parse(server.handle_line(R"({"op":"stats"})"));
+  const JsonValue* namespaces = stats.find("namespaces");
+  ASSERT_NE(namespaces, nullptr);
+  EXPECT_EQ(namespaces->find("")->find("hits")->as_int(), 2 * n);
+  EXPECT_EQ(namespaces->find("tenant-a")->find("hits")->as_int(), n);
+  EXPECT_EQ(namespaces->find("tenant-a")->find("misses")->as_int(), n);
+  EXPECT_EQ(namespaces->find("tenant-b")->find("misses")->as_int(), n);
+  EXPECT_EQ(namespaces->find("tenant-b")->find("size")->as_int(), n);
+
+  // Bad namespaces are rejected at decode.
+  const JsonValue bad = json_parse(server.handle_line(
+      "{\"op\":\"open_session\",\"namespace\":\"" + std::string(300, 'x') + "\"}"));
+  EXPECT_EQ(bad.find("code")->as_string(), "bad_request");
+
+  // Without the operator flag, stats must not leak other tenants' tags —
+  // knowing a tag is all it takes to read that tenant's warm cache. A
+  // default-namespace caller sees only its own slice.
+  Server guarded(test_options());
+  (void)guarded.handle_line(
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"namespace\":\"tenant-secret\",\"graphs\":" +
+      graphs_json(suite()) + "}");
+  const JsonValue guarded_stats = json_parse(guarded.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(guarded_stats.find("namespaces")->find("tenant-secret"), nullptr);
+}
+
+TEST(ServerCore, PerRequestBatchOverrides) {
+  Server server(test_options());  // configured threads=2, shard_size=1
+  const std::string graphs = graphs_json(suite());
+
+  // threads/shard_size overrides are reflected in the batch diagnostics.
+  const JsonValue overridden = json_parse(server.handle_line(
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"batch\":{\"threads\":1,\"shard_size\":4},"
+      "\"graphs\":" + graphs + "}"));
+  ASSERT_TRUE(overridden.find("ok")->as_bool());
+  EXPECT_EQ(overridden.find("diag")->find("threads")->as_int(), 1);
+  EXPECT_EQ(overridden.find("diag")->find("shards")->as_int(),
+            static_cast<std::int64_t>((suite().size() + 3) / 4));
+
+  // no_cache computes fresh: the warm repeat still reports zero hits and
+  // zero misses (nothing read, nothing written).
+  const JsonValue bypass = json_parse(server.handle_line(
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"batch\":{\"no_cache\":true},\"graphs\":" +
+      graphs + "}"));
+  EXPECT_EQ(bypass.find("diag")->find("cache_hits")->as_int(), 0);
+  EXPECT_EQ(bypass.find("diag")->find("cache_misses")->as_int(), 0);
+
+  // Override validation: out-of-range and unknown keys are bad requests.
+  for (const char* bad : {
+           R"({"op":"solve","solver":"greedy","batch":{"threads":0},"graphs":[]})",
+           R"({"op":"solve","solver":"greedy","batch":{"threads":100000},"graphs":[]})",
+           R"({"op":"solve","solver":"greedy","batch":{"shard_size":0},"graphs":[]})",
+           R"({"op":"solve","solver":"greedy","batch":{"frobnicate":1},"graphs":[]})",
+           R"({"op":"solve","solver":"greedy","batch":7,"graphs":[]})",
+       }) {
+    const JsonValue response = json_parse(server.handle_line(bad));
+    EXPECT_FALSE(response.find("ok")->as_bool()) << bad;
+    EXPECT_EQ(response.find("code")->as_string(), "bad_request") << bad;
+  }
+}
+
+TEST(ServerCore, StatsReportsStoreAndUptime) {
+  Server server(test_options());
+  (void)server.handle_line(R"({"op":"put_graph","graph":{"n":3,"edges":[[0,1],[1,2]]}})");
+  const JsonValue stats = json_parse(server.handle_line(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.find("ok")->as_bool());
+  const JsonValue* store = stats.find("store");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->find("graphs")->as_int(), 1);
+  EXPECT_EQ(store->find("pinned")->as_int(), 1);
+  EXPECT_EQ(store->find("puts")->as_int(), 1);
+  EXPECT_GE(stats.find("server")->find("uptime_seconds")->as_double(), 0.0);
+  EXPECT_EQ(stats.find("server")->find("rejected_connections")->as_int(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front-end, socket-free: routing, status mapping, namespace header
+
+int http_status(const std::string& response) {
+  return std::atoi(response.c_str() + sizeof("HTTP/1.1 ") - 1);
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+HttpRequest make_http(std::string method, std::string target, std::string body,
+                      std::string ns = {}) {
+  HttpRequest req;
+  req.method = std::move(method);
+  req.target = std::move(target);
+  req.body = std::move(body);
+  req.ns = std::move(ns);
+  return req;
+}
+
+TEST(Http, RoutesMapOntoProtocolVerbsWithStatuses) {
+  CoreOptions core_opts;
+  core_opts.batch.threads = 1;
+  core_opts.batch.shard_size = 1;
+  core_opts.batch.cache_capacity = 64;
+  core_opts.snapshot_dir.clear();
+  ServerCore core(core_opts, api::Registry::instance());
+  Session session(core);
+
+  // GET /v2/solvers: the registry enumeration, 200.
+  std::string response =
+      handle_http_request(make_http("GET", "/v2/solvers", ""), session);
+  EXPECT_EQ(http_status(response), 200);
+  EXPECT_EQ(json_parse(http_body(response)).find("solvers")->as_array().size(),
+            api::Registry::instance().specs().size());
+
+  // PUT /v2/graphs: 201 on first upload, 200 on content-addressed re-put.
+  const std::string graph = R"({"n":4,"edges":[[0,1],[1,2],[2,3]]})";
+  response = handle_http_request(make_http("PUT", "/v2/graphs", graph), session);
+  EXPECT_EQ(http_status(response), 201);
+  const std::string handle = json_parse(http_body(response)).find("handle")->as_string();
+  response = handle_http_request(make_http("PUT", "/v2/graphs", graph), session);
+  EXPECT_EQ(http_status(response), 200);
+
+  // POST /v2/solve by handle; the repeat is a warm hit.
+  const std::string solve = "{\"solver\":\"greedy\",\"graphs\":[\"" + handle + "\"]}";
+  response = handle_http_request(make_http("POST", "/v2/solve", solve), session);
+  EXPECT_EQ(http_status(response), 200);
+  EXPECT_EQ(json_parse(http_body(response)).find("diag")->find("cache_hits")->as_int(), 0);
+  response = handle_http_request(make_http("POST", "/v2/solve", solve), session);
+  EXPECT_EQ(json_parse(http_body(response)).find("diag")->find("cache_hits")->as_int(), 1);
+
+  // The namespace header isolates the cache like open_session does, and the
+  // body echoes the namespace.
+  response = handle_http_request(make_http("POST", "/v2/solve", solve, "tenant-a"), session);
+  EXPECT_EQ(json_parse(http_body(response)).find("diag")->find("cache_hits")->as_int(), 0);
+  EXPECT_EQ(json_parse(http_body(response)).find("namespace")->as_string(), "tenant-a");
+
+  // DELETE /v2/graphs/<handle>: one drop per put (the graph was PUT twice,
+  // so the refcount is 2); a drop with nothing left to release is 404.
+  response = handle_http_request(make_http("DELETE", "/v2/graphs/" + handle, ""), session);
+  EXPECT_EQ(http_status(response), 200);
+  response = handle_http_request(make_http("DELETE", "/v2/graphs/" + handle, ""), session);
+  EXPECT_EQ(http_status(response), 200);
+  response = handle_http_request(make_http("DELETE", "/v2/graphs/" + handle, ""), session);
+  EXPECT_EQ(http_status(response), 404);
+  EXPECT_EQ(json_parse(http_body(response)).find("code")->as_string(), "unknown_handle");
+
+  // Error statuses: unknown solver 404, malformed body 400, bad route 404,
+  // GET on a POST route 404.
+  response = handle_http_request(
+      make_http("POST", "/v2/solve", R"({"solver":"nope","graphs":[]})"), session);
+  EXPECT_EQ(http_status(response), 404);
+  EXPECT_EQ(json_parse(http_body(response)).find("code")->as_string(), "unknown_solver");
+  response = handle_http_request(make_http("POST", "/v2/solve", "{oops"), session);
+  EXPECT_EQ(http_status(response), 400);
+  response = handle_http_request(make_http("GET", "/v2/frobnicate", ""), session);
+  EXPECT_EQ(http_status(response), 404);
+  response = handle_http_request(make_http("GET", "/v2/solve", ""), session);
+  EXPECT_EQ(http_status(response), 404);
+
+  // GET /v2/stats carries the same body as the stats verb.
+  response = handle_http_request(make_http("GET", "/v2/stats", ""), session);
+  EXPECT_EQ(http_status(response), 200);
+  EXPECT_GE(json_parse(http_body(response)).find("server")->find("uptime_seconds")
+                ->as_double(), 0.0);
+  EXPECT_FALSE(core.stopping());
 }
 
 // ---------------------------------------------------------------------------
@@ -430,7 +787,7 @@ TEST(ServerSocket, EndToEndSolveAndShutdown) {
 TEST(ServerSocket, OversizedLineIsRejectedAndConnectionDropped) {
   ServerOptions opts = test_options();
   opts.port = 0;
-  opts.limits.max_line_bytes = 256;
+  opts.core.limits.max_line_bytes = 256;
   Server server(opts);
   server.bind_and_listen();
   std::thread serving([&] { server.serve(); });
@@ -448,6 +805,176 @@ TEST(ServerSocket, OversizedLineIsRejectedAndConnectionDropped) {
   // The server dropped the connection after reporting.
   EXPECT_FALSE(reader.next_line(1u << 20).has_value());
   close_fd(fd);
+
+  server.request_stop();
+  serving.join();
+}
+
+// One HTTP exchange over a real socket; returns {status, parsed body}.
+std::pair<int, JsonValue> http_socket_exchange(int fd, LineReader& reader,
+                                               const std::string& method,
+                                               const std::string& target,
+                                               const std::string& body) {
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n" + body;
+  EXPECT_TRUE(send_all(fd, request));
+  const auto status_line = reader.next_line(1u << 16);
+  EXPECT_TRUE(status_line.has_value());
+  const int status = std::atoi(status_line->c_str() + sizeof("HTTP/1.1 ") - 1);
+  std::size_t content_length = 0;
+  while (true) {
+    const auto header = reader.next_line(1u << 16);
+    EXPECT_TRUE(header.has_value());
+    if (!header || header->empty()) break;
+    if (header->starts_with("Content-Length: ")) {
+      content_length = static_cast<std::size_t>(
+          std::atoll(header->c_str() + sizeof("Content-Length: ") - 1));
+    }
+  }
+  const auto payload = reader.read_exact(content_length);
+  EXPECT_TRUE(payload.has_value());
+  return {status, json_parse(payload.value_or("null"))};
+}
+
+TEST(ServerSocket, HttpPutSolveWarmHitStatsShutdown) {
+  ServerOptions opts = test_options();
+  opts.port = 0;
+  opts.http_port = 0;  // second listener, ephemeral
+  Server server(opts);
+  server.bind_and_listen();
+  ASSERT_GT(server.http_port(), 0);
+  ASSERT_NE(server.http_port(), server.port());
+  std::thread serving([&] { server.serve(); });
+
+  const int fd = tcp_connect("127.0.0.1", server.http_port());
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+
+  // put_graph -> handle (201), solve by handle cold, solve warm (all hits),
+  // stats — one keep-alive connection throughout.
+  auto [put_status, put] = http_socket_exchange(
+      fd, reader, "PUT", "/v2/graphs", R"({"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5]]})");
+  EXPECT_EQ(put_status, 201);
+  ASSERT_TRUE(put.find("ok")->as_bool());
+  const std::string handle = put.find("handle")->as_string();
+
+  const std::string solve = "{\"solver\":\"algorithm1\",\"graphs\":[\"" + handle + "\"]}";
+  auto [cold_status, cold] = http_socket_exchange(fd, reader, "POST", "/v2/solve", solve);
+  EXPECT_EQ(cold_status, 200);
+  EXPECT_EQ(cold.find("diag")->find("cache_misses")->as_int(), 1);
+  auto [warm_status, warm] = http_socket_exchange(fd, reader, "POST", "/v2/solve", solve);
+  EXPECT_EQ(warm_status, 200);
+  EXPECT_EQ(warm.find("diag")->find("cache_hits")->as_int(), 1);
+
+  auto [stats_status, stats] = http_socket_exchange(fd, reader, "GET", "/v2/stats", "");
+  EXPECT_EQ(stats_status, 200);
+  EXPECT_EQ(stats.find("store")->find("graphs")->as_int(), 1);
+
+  // Expect: 100-continue earns the interim response before the final one
+  // (curl sends it for every body over ~1KB; without the interim line such
+  // clients stall ~1s per upload).
+  const std::string g2 = R"({"n":3,"edges":[[0,1],[1,2]]})";
+  EXPECT_TRUE(send_all(fd, "PUT /v2/graphs HTTP/1.1\r\nHost: t\r\nExpect: 100-continue\r\n"
+                           "Content-Length: " + std::to_string(g2.size()) + "\r\n\r\n" + g2));
+  const auto interim = reader.next_line(1u << 16);
+  ASSERT_TRUE(interim.has_value());
+  EXPECT_EQ(*interim, "HTTP/1.1 100 Continue");
+  ASSERT_TRUE(reader.next_line(1u << 16).has_value());  // interim terminator
+  const auto final_status = reader.next_line(1u << 16);
+  ASSERT_TRUE(final_status.has_value());
+  EXPECT_TRUE(final_status->starts_with("HTTP/1.1 201"));
+  std::size_t expect_body_len = 0;
+  while (true) {
+    const auto header = reader.next_line(1u << 16);
+    ASSERT_TRUE(header.has_value());
+    if (header->empty()) break;
+    if (header->starts_with("Content-Length: ")) {
+      expect_body_len = static_cast<std::size_t>(
+          std::atoll(header->c_str() + sizeof("Content-Length: ") - 1));
+    }
+  }
+  ASSERT_TRUE(reader.read_exact(expect_body_len).has_value());
+
+  auto [down_status, down] = http_socket_exchange(fd, reader, "POST", "/v2/shutdown", "");
+  EXPECT_EQ(down_status, 200);
+  EXPECT_TRUE(down.find("ok")->as_bool());
+  serving.join();
+  close_fd(fd);
+  EXPECT_TRUE(server.stopping());
+}
+
+TEST(ServerSocket, LineAndHttpTransportsShareOneCacheAndStore) {
+  ServerOptions opts = test_options();
+  opts.port = 0;
+  opts.http_port = 0;
+  Server server(opts);
+  server.bind_and_listen();
+  std::thread serving([&] { server.serve(); });
+
+  // Upload over HTTP...
+  const int hfd = tcp_connect("127.0.0.1", server.http_port());
+  ASSERT_GE(hfd, 0);
+  LineReader hreader(hfd);
+  auto [put_status, put] = http_socket_exchange(
+      hfd, hreader, "PUT", "/v2/graphs", R"({"n":4,"edges":[[0,1],[1,2],[2,3]]})");
+  EXPECT_EQ(put_status, 201);
+  const std::string handle = put.find("handle")->as_string();
+
+  // ...and solve by that handle over the line protocol: the two transports
+  // front one store and one cache, so the second solve is a warm hit.
+  const int lfd = tcp_connect("127.0.0.1", server.port());
+  ASSERT_GE(lfd, 0);
+  LineReader lreader(lfd);
+  const std::string solve =
+      "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":[\"" + handle + "\"]}";
+  EXPECT_TRUE(send_all(lfd, solve + "\n"));
+  const JsonValue cold = json_parse(lreader.next_line(1u << 20).value_or("null"));
+  ASSERT_TRUE(cold.find("ok")->as_bool());
+  EXPECT_EQ(cold.find("diag")->find("cache_misses")->as_int(), 1);
+  EXPECT_TRUE(send_all(lfd, solve + "\n"));
+  const JsonValue warm = json_parse(lreader.next_line(1u << 20).value_or("null"));
+  EXPECT_EQ(warm.find("diag")->find("cache_hits")->as_int(), 1);
+
+  close_fd(hfd);
+  close_fd(lfd);
+  server.request_stop();
+  serving.join();
+}
+
+TEST(ServerSocket, MaxConnectionsRejectsWithServerBusy) {
+  ServerOptions opts = test_options();
+  opts.port = 0;
+  opts.max_connections = 1;
+  Server server(opts);
+  server.bind_and_listen();
+  std::thread serving([&] { server.serve(); });
+
+  // First connection occupies the only slot (exchange proves it is served).
+  const int first = tcp_connect("127.0.0.1", server.port());
+  ASSERT_GE(first, 0);
+  LineReader first_reader(first);
+  EXPECT_TRUE(send_all(first, "{\"op\":\"solvers\"}\n"));
+  ASSERT_TRUE(first_reader.next_line(1u << 20).has_value());
+
+  // Second connection is answered with server_busy and closed — never
+  // handed to a connection thread.
+  const int second = tcp_connect("127.0.0.1", server.port());
+  ASSERT_GE(second, 0);
+  LineReader second_reader(second);
+  const auto busy = second_reader.next_line(1u << 20);
+  ASSERT_TRUE(busy.has_value());
+  const JsonValue parsed = json_parse(*busy);
+  EXPECT_FALSE(parsed.find("ok")->as_bool());
+  EXPECT_EQ(parsed.find("code")->as_string(), "server_busy");
+  EXPECT_FALSE(second_reader.next_line(1u << 20).has_value());  // dropped
+  close_fd(second);
+
+  // The surviving connection still works and sees the rejection counted.
+  EXPECT_TRUE(send_all(first, "{\"op\":\"stats\"}\n"));
+  const JsonValue stats = json_parse(first_reader.next_line(1u << 20).value_or("null"));
+  EXPECT_EQ(stats.find("server")->find("rejected_connections")->as_int(), 1);
+  EXPECT_EQ(stats.find("server")->find("connections")->as_int(), 1);
+  close_fd(first);
 
   server.request_stop();
   serving.join();
