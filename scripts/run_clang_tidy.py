@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the serving core and fail on any finding.
+
+Drives the checked-in .clang-tidy config over every translation unit in a
+compile_commands.json whose source lives under the scoped directories
+(src/api, src/server, src/common by default — the concurrent serving core
+this repo's lint gate covers). CI calls this after configuring the `tidy`
+CMake preset; locally:
+
+    cmake --preset tidy          # needs clang/clang++ on PATH
+    python3 scripts/run_clang_tidy.py
+
+Exit codes: 0 clean, 1 findings, 2 environment problems (no clang-tidy
+binary, no compile_commands.json). The script is stdlib-only on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BUILD_DIR = os.path.join(REPO_ROOT, "build", "tidy")
+DEFAULT_SCOPE = ("src/api", "src/server", "src/common")
+
+
+def scoped_sources(build_dir: str, scope: tuple[str, ...]) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(
+            f"error: {db_path} not found.\n"
+            "Configure the tidy preset first: cmake --preset tidy\n"
+            "(or pass --build-dir for a tree configured with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+        )
+    with open(db_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    prefixes = tuple(os.path.join(REPO_ROOT, s) + os.sep for s in scope)
+    sources = sorted(
+        {
+            os.path.normpath(
+                e["file"]
+                if os.path.isabs(e["file"])
+                else os.path.join(e["directory"], e["file"])
+            )
+            for e in entries
+        }
+    )
+    return [s for s in sources if s.startswith(prefixes)]
+
+
+def run_one(tidy: str, build_dir: str, source: str, extra_args: list[str]):
+    cmd = [tidy, "-p", build_dir, "--quiet", *extra_args, source]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang-tidy exits nonzero when WarningsAsErrors matched, and prints the
+    # findings on stdout; stderr carries "N warnings treated as errors" noise
+    # plus any real driver errors, so keep it only on failure.
+    return source, proc.returncode, proc.stdout, proc.stderr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=DEFAULT_BUILD_DIR,
+                        help="build tree holding compile_commands.json "
+                             f"(default: {DEFAULT_BUILD_DIR})")
+    parser.add_argument("--scope", action="append", default=None,
+                        metavar="DIR",
+                        help="repo-relative directory to lint (repeatable; "
+                             f"default: {', '.join(DEFAULT_SCOPE)})")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: $CLANG_TIDY or "
+                             "'clang-tidy' from PATH)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count(),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("extra", nargs="*",
+                        help="extra arguments passed through to clang-tidy "
+                             "(after '--', e.g. -- --fix)")
+    args = parser.parse_args()
+
+    tidy = args.clang_tidy or os.environ.get("CLANG_TIDY") or "clang-tidy"
+    resolved = shutil.which(tidy)
+    if resolved is None:
+        sys.exit(
+            f"error: '{tidy}' not found on PATH. Install clang-tidy (the lint "
+            "gate runs it in CI) or point --clang-tidy/$CLANG_TIDY at one."
+        )
+
+    scope = tuple(args.scope) if args.scope else DEFAULT_SCOPE
+    sources = scoped_sources(args.build_dir, scope)
+    if not sources:
+        sys.exit(f"error: no sources under {', '.join(scope)} in the "
+                 "compile database — wrong --build-dir?")
+
+    print(f"clang-tidy: {resolved}")
+    print(f"linting {len(sources)} files under {', '.join(scope)} "
+          f"with {args.jobs} jobs")
+
+    failures = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, resolved, args.build_dir, s, args.extra)
+            for s in sources
+        ]
+        for future in futures:
+            source, rc, out, err = future.result()
+            rel = os.path.relpath(source, REPO_ROOT)
+            if rc == 0:
+                print(f"  ok    {rel}")
+                continue
+            failures += 1
+            print(f"  FAIL  {rel}")
+            if out.strip():
+                print(out.rstrip())
+            if err.strip():
+                print(err.rstrip(), file=sys.stderr)
+
+    if failures:
+        print(f"\nclang-tidy: findings in {failures}/{len(sources)} files",
+              file=sys.stderr)
+        return 1
+    print(f"\nclang-tidy: clean ({len(sources)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

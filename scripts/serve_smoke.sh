@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke cycle: start lmds_serve (both transports), drive
+# the line protocol with a mixed-solver demo batch + admin verbs, run the
+# protocol-v2 put_graph/solve/warm-hit cycle over HTTP and over the line
+# protocol in an isolated namespace, save a cache snapshot, restart the
+# server from it, and require the replayed batch to answer from the warmed
+# cache (--expect-hits exits non-zero on zero hits).
+#
+# Usage: scripts/serve_smoke.sh BUILD_DIR [WORK_DIR]
+#
+# Runs against whatever BUILD_DIR was built with — CI invokes it once per
+# build flavor (plain, asan-ubsan, tsan), so the whole accept/solve/
+# snapshot/drain path executes under each sanitizer.
+
+set -euo pipefail
+
+BUILD_DIR=$(cd "$1" && pwd)
+WORK_DIR=${2:-$(mktemp -d)}
+cd "$WORK_DIR"
+rm -f port.txt http_port.txt
+
+wait_for_file() {
+  for _ in $(seq 1 300); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "serve_smoke: timed out waiting for $1" >&2
+  return 1
+}
+
+"$BUILD_DIR/lmds_serve" --port 0 --port-file port.txt \
+  --http-port 0 --http-port-file http_port.txt \
+  --snapshot cache.lmds --cache-capacity 256 &
+SERVER_PID=$!
+wait_for_file port.txt
+wait_for_file http_port.txt
+
+"$BUILD_DIR/serve_client" --port "$(cat port.txt)" --demo --stats \
+  --save cache_explicit.lmds
+# Protocol v2 over HTTP: upload handles, solve by handle, repeat — the
+# repeat must be all cache hits (warm-hit cycle).
+"$BUILD_DIR/serve_client" --port "$(cat http_port.txt)" --http \
+  --handles --expect-hits --stats
+# Same cycle over the line protocol in an isolated namespace: the first
+# pass must be cold again (namespace isolation), the repeat warm.
+"$BUILD_DIR/serve_client" --port "$(cat port.txt)" --namespace ci-tenant \
+  --handles --expect-hits --shutdown
+wait "$SERVER_PID"
+test -s cache.lmds
+test -s cache_explicit.lmds
+
+# Restart from the snapshot: the replayed demo batch must be warm.
+rm port.txt http_port.txt
+"$BUILD_DIR/lmds_serve" --port 0 --port-file port.txt \
+  --snapshot cache.lmds --cache-capacity 256 &
+SERVER_PID=$!
+wait_for_file port.txt
+"$BUILD_DIR/serve_client" --port "$(cat port.txt)" --demo --expect-hits \
+  --stats --shutdown
+wait "$SERVER_PID"
+
+echo "serve_smoke: OK ($BUILD_DIR)"

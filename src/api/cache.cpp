@@ -65,7 +65,7 @@ ResponseCache::ResponseCache(std::size_t capacity) : capacity_(capacity) {}
 
 std::optional<Response> ResponseCache::lookup(const CacheKey& key) {
   if (!enabled()) return std::nullopt;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;  // the completing insert() counts the miss
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
@@ -74,16 +74,29 @@ std::optional<Response> ResponseCache::lookup(const CacheKey& key) {
   return it->second->second;
 }
 
-bool ResponseCache::insert(const CacheKey& key, const Response& value) {
-  if (!enabled()) return false;
-  std::lock_guard lock(mu_);
-  ++misses_;  // one computed Response reached the cache — the request's miss
-  if (ns_stats_.size() >= kMaxIdleNamespaceStats && !ns_stats_.contains(key.ns)) {
+void ResponseCache::evict_lru_locked() {
+  NamespaceStats& loser = ns_stats_[lru_.back().first.ns];
+  ++loser.evictions;
+  --loser.size;
+  index_.erase(lru_.back().first);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+void ResponseCache::prune_idle_namespaces_locked(const std::string& ns) {
+  if (ns_stats_.size() >= kMaxIdleNamespaceStats && !ns_stats_.contains(ns)) {
     // A fresh namespace would push the counter map past its bound: drop the
     // counters of namespaces holding no entries (their history, not their
     // data — the entries of live namespaces are never touched).
     std::erase_if(ns_stats_, [](const auto& kv) { return kv.second.size == 0; });
   }
+}
+
+bool ResponseCache::insert(const CacheKey& key, const Response& value) {
+  if (!enabled()) return false;
+  common::MutexLock lock(mu_);
+  ++misses_;  // one computed Response reached the cache — the request's miss
+  prune_idle_namespaces_locked(key.ns);
   ++ns_stats_[key.ns].misses;
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -92,36 +105,26 @@ bool ResponseCache::insert(const CacheKey& key, const Response& value) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return false;
   }
-  bool evicted = false;
-  if (lru_.size() >= capacity_) {
-    // Shared capacity: the eviction is charged to the namespace losing the
-    // entry, which need not be the inserting one.
-    NamespaceStats& loser = ns_stats_[lru_.back().first.ns];
-    ++loser.evictions;
-    --loser.size;
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++evictions_;
-    evicted = true;
-  }
+  const bool evict = lru_.size() >= capacity_;
+  if (evict) evict_lru_locked();
   lru_.emplace_front(key, value);
   index_[key] = lru_.begin();
   ++ns_stats_[key.ns].size;
-  return evicted;
+  return evict;
 }
 
 CacheStats ResponseCache::stats() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return {hits_, misses_, evictions_, lru_.size(), capacity_};
 }
 
 std::map<std::string, NamespaceStats> ResponseCache::namespace_stats() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return ns_stats_;
 }
 
 void ResponseCache::clear() {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   for (auto& [ns, stats] : ns_stats_) stats.size = 0;
@@ -309,7 +312,7 @@ Response get_response(std::istream& in) {
 }  // namespace
 
 void ResponseCache::serialize(std::ostream& out) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   put_bytes(out, kMagic, sizeof kMagic);
   put_u32(out, kVersion);
   put_u64(out, lru_.size());
@@ -356,7 +359,11 @@ void ResponseCache::deserialize(std::istream& in) {
   if (get_u64(in) != kFooter) truncated();
   if (!enabled()) return;
 
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
+  install_entries_locked(std::move(entries));
+}
+
+void ResponseCache::install_entries_locked(LruList entries) {
   lru_ = std::move(entries);
   index_.clear();
   for (auto it = lru_.begin(); it != lru_.end();) {

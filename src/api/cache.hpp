@@ -30,13 +30,14 @@
 #include <iosfwd>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "api/api.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace lmds::api {
 
@@ -105,15 +106,15 @@ class ResponseCache {
   /// Returns a copy of the cached Response and promotes the entry to
   /// most-recently-used; std::nullopt on miss. Counts a hit on success;
   /// a miss is counted by the insert() that completes the request.
-  std::optional<Response> lookup(const CacheKey& key);
+  std::optional<Response> lookup(const CacheKey& key) LMDS_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used one
   /// when at capacity. Counts one miss — insert() is called exactly once per
   /// computed Response, so the counter tracks completed work, not attempts.
   /// Returns true iff an entry was evicted.
-  bool insert(const CacheKey& key, const Response& value);
+  bool insert(const CacheKey& key, const Response& value) LMDS_EXCLUDES(mu_);
 
-  CacheStats stats() const;
+  CacheStats stats() const LMDS_EXCLUDES(mu_);
   /// Counters sliced by CacheKey::ns, keyed by namespace (the default
   /// namespace appears as ""). A namespace appears once it was ever touched;
   /// clear() zeroes sizes but keeps the lifetime hit/miss/eviction counters.
@@ -121,13 +122,13 @@ class ResponseCache {
   /// distinct ones have been seen, the counters of namespaces currently
   /// holding no entries are pruned to make room (live namespaces are
   /// bounded by the cache capacity itself).
-  std::map<std::string, NamespaceStats> namespace_stats() const;
-  void clear();
+  std::map<std::string, NamespaceStats> namespace_stats() const LMDS_EXCLUDES(mu_);
+  void clear() LMDS_EXCLUDES(mu_);
 
   /// Writes a versioned binary snapshot of the entries (keys + responses,
   /// least- to most-recently-used) to `out`. Counters are not part of the
   /// snapshot — they describe this process's lifetime, not the data.
-  void serialize(std::ostream& out) const;
+  void serialize(std::ostream& out) const LMDS_EXCLUDES(mu_);
 
   /// Replaces the current entries with a snapshot previously written by
   /// serialize(). Accepts the current format (version 2, with per-entry
@@ -137,7 +138,7 @@ class ResponseCache {
   /// (silently, not counted as evictions). Lifetime counters are untouched.
   /// Throws std::runtime_error on a bad magic/version or truncated stream,
   /// leaving the cache unchanged. A disabled cache ignores the snapshot.
-  void deserialize(std::istream& in);
+  void deserialize(std::istream& in) LMDS_EXCLUDES(mu_);
 
   /// File convenience over serialize()/deserialize(); throws
   /// std::runtime_error when the file cannot be opened or written.
@@ -147,14 +148,30 @@ class ResponseCache {
  private:
   using LruList = std::list<std::pair<CacheKey, Response>>;  // front = MRU
 
+  /// Evicts the least-recently-used entry, charging the eviction to the
+  /// namespace losing it (capacity is shared; that need not be the
+  /// inserting namespace).
+  void evict_lru_locked() LMDS_REQUIRES(mu_);
+
+  /// Keeps the client-supplied namespace counter map bounded: before `ns`
+  /// would grow it past its cap, prunes the counters of namespaces that
+  /// currently hold no entries.
+  void prune_idle_namespaces_locked(const std::string& ns) LMDS_REQUIRES(mu_);
+
+  /// Replaces the live entries with `entries` (already capacity-clamped,
+  /// MRU-first), rebuilds the index, and recomputes per-namespace sizes —
+  /// deserialize()'s commit step, after all parsing that can throw.
+  void install_entries_locked(LruList entries) LMDS_REQUIRES(mu_);
+
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;
-  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::map<std::string, NamespaceStats> ns_stats_;
+  mutable common::Mutex mu_;
+  LruList lru_ LMDS_GUARDED_BY(mu_);
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_
+      LMDS_GUARDED_BY(mu_);
+  std::uint64_t hits_ LMDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ LMDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ LMDS_GUARDED_BY(mu_) = 0;
+  std::map<std::string, NamespaceStats> ns_stats_ LMDS_GUARDED_BY(mu_);
 };
 
 }  // namespace lmds::api

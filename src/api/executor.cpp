@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "api/registry.hpp"
+#include "common/mutex.hpp"
 #include "graph/hash.hpp"
 
 namespace lmds::api {
@@ -98,7 +98,9 @@ std::vector<Response> BatchExecutor::run_impl(
     // First failure (lowest graph index among the shards that actually ran)
     // wins; the flag makes every worker abandon unclaimed shards.
     std::atomic<bool> failed{false};
-    std::mutex error_mu;
+    common::Mutex error_mu;  // guards first_error + error_index (locals, so
+                             // GUARDED_BY cannot name them — see run_impl's
+                             // catch block, the only locked path)
     std::exception_ptr first_error;
     std::size_t error_index = count;
 
@@ -143,7 +145,7 @@ std::vector<Response> BatchExecutor::run_impl(
             try {
               run_one(i);
             } catch (...) {
-              std::lock_guard lock(error_mu);
+              common::MutexLock lock(error_mu);
               if (!first_error || i < error_index) {
                 first_error = std::current_exception();
                 error_index = i;

@@ -16,8 +16,12 @@
 //    unclaimed shards; after the pool drains, the exception with the lowest
 //    graph index among those attempted is rethrown.
 //  * Reentrancy — one BatchExecutor may serve concurrent run_batch calls
-//    from many threads; the shared state is the ResponseCache (mutexed) and
-//    per-call locals.
+//    from many threads. The executor itself holds no mutex and no
+//    LMDS_GUARDED_BY members on purpose: opts_/registry_ are immutable after
+//    construction, shard queues and cursors are per-call locals (the cursors
+//    atomics), and the only cross-call shared state is cache_, whose locking
+//    is annotated and checked inside ResponseCache itself (api/cache.hpp).
+//    Exercised under TSan by tests/test_concurrency.cpp.
 
 #include <cstdint>
 #include <functional>

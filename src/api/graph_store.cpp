@@ -32,6 +32,16 @@ std::optional<std::uint64_t> GraphStore::parse_handle(std::string_view handle) {
   return hash;
 }
 
+void GraphStore::evict_unpinned_locked() {
+  if (unpinned_.empty()) {
+    throw GraphStoreFull("graph store full: " + std::to_string(entries_.size()) +
+                         " graphs stored, all pinned (drop_graph frees capacity)");
+  }
+  entries_.erase(unpinned_.back());
+  unpinned_.pop_back();
+  ++evictions_;
+}
+
 GraphStore::PutResult GraphStore::put(graph::Graph g) {
   const std::uint64_t hash = graph::graph_hash(g);
   PutResult out;
@@ -40,7 +50,7 @@ GraphStore::PutResult GraphStore::put(graph::Graph g) {
   out.vertices = g.num_vertices();
   out.edges = g.num_edges();
 
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (const auto it = entries_.find(hash); it != entries_.end()) {
     // Content-addressed reuse: re-pin, discarding the caller's copy.
     if (it->second.refs == 0) unpinned_.erase(it->second.lru_it);
@@ -48,15 +58,7 @@ GraphStore::PutResult GraphStore::put(graph::Graph g) {
     ++reuses_;
     return out;
   }
-  if (entries_.size() >= capacity_) {
-    if (unpinned_.empty()) {
-      throw GraphStoreFull("graph store full: " + std::to_string(entries_.size()) +
-                           " graphs stored, all pinned (drop_graph frees capacity)");
-    }
-    entries_.erase(unpinned_.back());
-    unpinned_.pop_back();
-    ++evictions_;
-  }
+  if (entries_.size() >= capacity_) evict_unpinned_locked();
   Entry entry;
   entry.graph = std::make_shared<const graph::Graph>(std::move(g));
   entry.refs = 1;
@@ -69,7 +71,7 @@ GraphStore::PutResult GraphStore::put(graph::Graph g) {
 std::shared_ptr<const graph::Graph> GraphStore::get(std::string_view handle) {
   const std::optional<std::uint64_t> hash = parse_handle(handle);
   if (!hash) return nullptr;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const auto it = entries_.find(*hash);
   if (it == entries_.end()) return nullptr;
   if (it->second.refs == 0) {
@@ -82,7 +84,7 @@ std::shared_ptr<const graph::Graph> GraphStore::get(std::string_view handle) {
 bool GraphStore::drop(std::string_view handle) {
   const std::optional<std::uint64_t> hash = parse_handle(handle);
   if (!hash) return false;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const auto it = entries_.find(*hash);
   if (it == entries_.end()) return false;
   // Every put was already dropped: there is no reference left to release
@@ -99,7 +101,7 @@ bool GraphStore::drop(std::string_view handle) {
 }
 
 GraphStoreStats GraphStore::stats() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   GraphStoreStats s;
   s.puts = puts_;
   s.reuses = reuses_;

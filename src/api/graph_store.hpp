@@ -27,13 +27,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "graph/graph.hpp"
 
 namespace lmds::api {
@@ -74,16 +75,16 @@ class GraphStore {
   /// Stores (or re-pins) a graph and returns its handle. Throws
   /// GraphStoreFull when a new entry is needed, the store is at capacity
   /// and nothing is evictable.
-  PutResult put(graph::Graph g);
+  PutResult put(graph::Graph g) LMDS_EXCLUDES(mu_);
 
   /// Resolves a handle; nullptr when unknown (never stored, dropped *and*
   /// evicted, or malformed). Promotes an unpinned entry to most recent.
-  std::shared_ptr<const graph::Graph> get(std::string_view handle);
+  std::shared_ptr<const graph::Graph> get(std::string_view handle) LMDS_EXCLUDES(mu_);
 
   /// Undoes one put(). Returns false when the handle resolves to nothing.
-  bool drop(std::string_view handle);
+  bool drop(std::string_view handle) LMDS_EXCLUDES(mu_);
 
-  GraphStoreStats stats() const;
+  GraphStoreStats stats() const LMDS_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
 
   /// "g" + 16 lowercase hex digits of the fingerprint.
@@ -99,14 +100,19 @@ class GraphStore {
     std::list<std::uint64_t>::iterator lru_it;
   };
 
+  /// Frees the least-recently-used unpinned entry to make room for a new
+  /// one; throws GraphStoreFull when every entry is still pinned.
+  void evict_unpinned_locked() LMDS_REQUIRES(mu_);
+
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::list<std::uint64_t> unpinned_;  // front = most recently released/used
-  std::uint64_t puts_ = 0;
-  std::uint64_t reuses_ = 0;
-  std::uint64_t drops_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_ LMDS_GUARDED_BY(mu_);
+  /// front = most recently released/used
+  std::list<std::uint64_t> unpinned_ LMDS_GUARDED_BY(mu_);
+  std::uint64_t puts_ LMDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t reuses_ LMDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t drops_ LMDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ LMDS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lmds::api

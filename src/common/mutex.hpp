@@ -1,0 +1,45 @@
+#pragma once
+// Annotated mutex wrapper for the concurrent serving core. A thin shell
+// around std::mutex whose lock/unlock carry Clang thread-safety attributes
+// (src/common/thread_annotations.hpp): members declared
+// LMDS_GUARDED_BY(mu_) are statically checked to be touched only while mu_
+// is held, and FooLocked() helpers declared LMDS_REQUIRES(mu_) are
+// statically checked to be called only under the lock. std::mutex itself is
+// unannotated under libstdc++, which is the whole reason this wrapper
+// exists — behaviourally it IS a std::mutex.
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace lmds::common {
+
+/// std::mutex with Clang capability annotations. Same cost, same semantics.
+class LMDS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LMDS_ACQUIRE() { mu_.lock(); }
+  void unlock() LMDS_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis as a scoped
+/// capability: the lock is held from construction to end of scope.
+class LMDS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LMDS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() LMDS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace lmds::common

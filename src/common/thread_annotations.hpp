@@ -1,0 +1,68 @@
+#pragma once
+// Clang thread-safety-analysis attribute macros — the static half of the
+// concurrency correctness layer (the dynamic half is the sanitizer presets,
+// CMakePresets.json). Under Clang, `-Wthread-safety` turns these into a
+// compile-time lock-discipline checker: a member declared GUARDED_BY(mu_)
+// read or written without mu_ held is a build error in CI
+// (-Werror=thread-safety). Under GCC and MSVC every macro expands to
+// nothing, so the annotated code compiles unchanged everywhere.
+//
+// The analysis only sees lock acquisitions through annotated types, and
+// std::mutex / std::lock_guard carry no annotations under libstdc++ — use
+// lmds::common::Mutex and lmds::common::MutexLock (src/common/mutex.hpp)
+// instead of the std types on any path you want checked.
+//
+// Conventions in this codebase (see docs/DEVELOPING.md):
+//  * Every member a mutex protects is GUARDED_BY(that mutex).
+//  * A private helper that must run under the lock is named FooLocked() and
+//    declared REQUIRES(mu_) — callers must hold mu_, and the analysis
+//    proves they do.
+//  * Public entry points that take the lock themselves are EXCLUDES(mu_),
+//    which catches self-deadlock (calling a locking method while already
+//    holding the lock) at compile time.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LMDS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LMDS_THREAD_ANNOTATION
+#define LMDS_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// On a class: instances are lockable capabilities (mutexes).
+#define LMDS_CAPABILITY(x) LMDS_THREAD_ANNOTATION(capability(x))
+
+/// On a class: RAII object that holds a capability for its lifetime.
+#define LMDS_SCOPED_CAPABILITY LMDS_THREAD_ANNOTATION(scoped_lockable)
+
+/// On a data member: may only be accessed with `x` held.
+#define LMDS_GUARDED_BY(x) LMDS_THREAD_ANNOTATION(guarded_by(x))
+
+/// On a pointer member: the pointee (not the pointer) needs `x` held.
+#define LMDS_PT_GUARDED_BY(x) LMDS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// On a function: callers must already hold the listed capabilities
+/// (the FooLocked() contract).
+#define LMDS_REQUIRES(...) \
+  LMDS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// On a function: callers must NOT hold the listed capabilities — the
+/// function acquires them itself (catches recursive self-deadlock).
+#define LMDS_EXCLUDES(...) LMDS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// On a function: acquires the capability and holds it on return.
+#define LMDS_ACQUIRE(...) \
+  LMDS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// On a function: releases a held capability.
+#define LMDS_RELEASE(...) \
+  LMDS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// On a function: returns a reference to the capability guarding its result.
+#define LMDS_RETURN_CAPABILITY(x) LMDS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where the
+/// analysis cannot follow a correct pattern, and say why in a comment.
+#define LMDS_NO_THREAD_SAFETY_ANALYSIS \
+  LMDS_THREAD_ANNOTATION(no_thread_safety_analysis)

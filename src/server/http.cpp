@@ -190,7 +190,10 @@ std::string handle_http_request(const HttpRequest& req, Session& session) {
       // A fresh upload is a created resource; read the response's "new"
       // member structurally (the body is small) rather than string-sniffing.
       try {
-        const JsonValue* inserted = json_parse(body).find("new");
+        // The parsed value must outlive the pointer find() hands back into
+        // it — a temporary here is a use-after-free (caught by ASan).
+        const JsonValue parsed = json_parse(body);
+        const JsonValue* inserted = parsed.find("new");
         if (inserted && inserted->type() == JsonValue::Type::Bool && inserted->as_bool()) {
           created_status = 201;
         }

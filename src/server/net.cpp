@@ -104,4 +104,22 @@ void close_fd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+namespace {
+// strerror_r comes in two flavors; glibc with _GNU_SOURCE (the g++ default)
+// returns char*, POSIX returns int and fills the buffer. Overloading on the
+// result type handles both without a feature-test-macro dance.
+// [[maybe_unused]]: exactly one overload is instantiated per libc.
+[[maybe_unused]] std::string strerror_result(const char* msg, const char* /*buf*/) {
+  return msg;
+}
+[[maybe_unused]] std::string strerror_result(int rc, const char* buf) {
+  return rc == 0 ? std::string(buf) : std::string("unknown error");
+}
+}  // namespace
+
+std::string errno_string(int err) {
+  char buf[256] = {};
+  return strerror_result(::strerror_r(err, buf, sizeof buf), buf);
+}
+
 }  // namespace lmds::server

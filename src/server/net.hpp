@@ -21,6 +21,12 @@ bool send_all(int fd, std::string_view data);
 
 /// Incremental newline-delimited reader over one fd. Reads in chunks,
 /// buffers the remainder, hands back complete lines without the '\n'.
+///
+/// Deliberately unsynchronized (no mutex, no annotations): a LineReader is
+/// owned by exactly one connection thread for its whole life. A concurrent
+/// shutdown(2) on the fd from the stop path is safe — it only makes the
+/// blocked recv() return 0 — but sharing the reader itself between threads
+/// is a bug the TSan CI job would flag.
 class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
@@ -46,5 +52,11 @@ class LineReader {
 
 /// close(2) wrapper that ignores EINTR; safe on -1.
 void close_fd(int fd);
+
+/// Thread-safe strerror: formats `err` (an errno value) via strerror_r into
+/// a caller-owned string. std::strerror may return a pointer into a shared
+/// static buffer, which is a data race once two threads format errors at
+/// once (clang-tidy's concurrency-mt-unsafe flags every use).
+std::string errno_string(int err);
 
 }  // namespace lmds::server

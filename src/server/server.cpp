@@ -9,7 +9,6 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <stdexcept>
 
 #include "server/http.hpp"
@@ -28,7 +27,7 @@ Server::Server(ServerOptions opts, const api::Registry& registry)
   core_.set_stop_callback([this] {
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
     if (http_listen_fd_ >= 0) ::shutdown(http_listen_fd_, SHUT_RDWR);
-    std::lock_guard lock(conn_mu_);
+    common::MutexLock lock(conn_mu_);
     // SHUT_RD only: unblocks each connection's recv() while still letting an
     // in-flight response (the shutdown ack itself) reach the client. The fd
     // is guaranteed open here — only reap/drain (same mutex) may close it.
@@ -40,7 +39,7 @@ Server::Server(ServerOptions opts, const api::Registry& registry)
 
 Server::~Server() {
   request_stop();
-  std::lock_guard lock(conn_mu_);
+  common::MutexLock lock(conn_mu_);
   for (const auto& conn : conns_) {
     if (conn->thread.joinable()) conn->thread.join();
     close_fd(conn->fd);
@@ -60,7 +59,7 @@ std::string Server::handle_line(std::string_view line) {
 
 std::pair<int, int> Server::bind_one(int port) const {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  if (fd < 0) throw std::runtime_error("socket(): " + errno_string(errno));
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -72,13 +71,13 @@ std::pair<int, int> Server::bind_one(int port) const {
     throw std::runtime_error("invalid host address: " + opts_.host);
   }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string error = std::strerror(errno);
+    const std::string error = errno_string(errno);
     close_fd(fd);
     throw std::runtime_error("bind(" + opts_.host + ":" + std::to_string(port) +
                              "): " + error);
   }
   if (::listen(fd, 64) != 0) {
-    const std::string error = std::strerror(errno);
+    const std::string error = errno_string(errno);
     close_fd(fd);
     throw std::runtime_error("listen(): " + error);
   }
@@ -87,14 +86,14 @@ std::pair<int, int> Server::bind_one(int port) const {
   // one listener while the other starves.
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
-    const std::string error = std::strerror(errno);
+    const std::string error = errno_string(errno);
     close_fd(fd);
     throw std::runtime_error("fcntl(O_NONBLOCK): " + error);
   }
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    const std::string error = std::strerror(errno);
+    const std::string error = errno_string(errno);
     close_fd(fd);
     throw std::runtime_error("getsockname(): " + error);
   }
@@ -153,7 +152,7 @@ void Server::serve() {
         close_fd(fd);
         break;
       }
-      std::lock_guard lock(conn_mu_);
+      common::MutexLock lock(conn_mu_);
       // Bound dead threads by live connections, not total served — and use
       // the live count to enforce the connection cap.
       const std::size_t live = reap_finished_locked();
@@ -195,7 +194,7 @@ void Server::serve() {
   // safely destroy the Server (threads reference `this`).
   std::vector<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard lock(conn_mu_);
+    common::MutexLock lock(conn_mu_);
     conns.swap(conns_);
   }
   // The stop callback SHUT_RDs connections it sees under conn_mu_, but this

@@ -25,13 +25,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "api/executor.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "server/protocol.hpp"
 #include "server/session.hpp"
 
@@ -110,18 +111,21 @@ class Server {
   /// Joins and frees finished connections (called from the accept loop, so
   /// a long-lived server does not accumulate one dead thread per client).
   /// Returns the number of connections still live.
-  std::size_t reap_finished_locked();
+  std::size_t reap_finished_locked() LMDS_REQUIRES(conn_mu_);
 
   ServerOptions opts_;
   ServerCore core_;
 
+  // Written by bind_and_listen() before serve() spawns any thread, then
+  // only read (the stop callback's shutdown(2) and the destructor's close)
+  // — the thread-creation happens-before edge covers them, no lock needed.
   int listen_fd_ = -1;
   int http_listen_fd_ = -1;
   int bound_port_ = 0;
   int bound_http_port_ = -1;
 
-  std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  common::Mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_ LMDS_GUARDED_BY(conn_mu_);
 };
 
 }  // namespace lmds::server

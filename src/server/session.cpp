@@ -24,7 +24,20 @@ ServerCounters ServerCore::counters() const {
 
 void ServerCore::request_stop() {
   if (stop_.exchange(true)) return;
-  if (on_stop_) on_stop_();
+  // Copy the callback out under the lock, invoke it outside: the Server's
+  // callback takes its own connection mutex, and holding stop_mu_ across
+  // foreign code is how lock-order inversions start.
+  std::function<void()> cb;
+  {
+    common::MutexLock lock(stop_mu_);
+    cb = on_stop_;
+  }
+  if (cb) cb();
+}
+
+void ServerCore::set_stop_callback(std::function<void()> cb) {
+  common::MutexLock lock(stop_mu_);
+  on_stop_ = std::move(cb);
 }
 
 std::string Session::handle_line(std::string_view line) {

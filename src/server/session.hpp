@@ -27,6 +27,8 @@
 #include "api/executor.hpp"
 #include "api/graph_store.hpp"
 #include "api/registry.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "server/protocol.hpp"
 
 namespace lmds::server {
@@ -71,10 +73,12 @@ class ServerCore {
   /// True once a shutdown verb was handled or request_stop() called.
   bool stopping() const { return stop_.load(); }
   /// Idempotent; invokes the on_stop callback (set by the socket owner to
-  /// unblock its accept loop) exactly once.
-  void request_stop();
-  /// Transport hook fired by the first request_stop(). Set before serving.
-  void set_stop_callback(std::function<void()> cb) { on_stop_ = std::move(cb); }
+  /// unblock its accept loop) exactly once. Safe from any thread — a
+  /// shutdown verb arrives on a connection thread.
+  void request_stop() LMDS_EXCLUDES(stop_mu_);
+  /// Transport hook fired by the first request_stop(). Normally set before
+  /// serving; the mutex makes a late or replaced registration safe too.
+  void set_stop_callback(std::function<void()> cb) LMDS_EXCLUDES(stop_mu_);
 
  private:
   CoreOptions opts_;
@@ -84,7 +88,8 @@ class ServerCore {
   std::chrono::steady_clock::time_point start_;
 
   std::atomic<bool> stop_{false};
-  std::function<void()> on_stop_;
+  common::Mutex stop_mu_;
+  std::function<void()> on_stop_ LMDS_GUARDED_BY(stop_mu_);
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> rejected_{0};
