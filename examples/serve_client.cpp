@@ -24,11 +24,8 @@
 // Exit codes: 0 success; 1 connection/protocol failure; 2 usage;
 //             3 --expect-hits saw zero cache hits.
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,9 +33,9 @@
 #include "api/api.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "server/client.hpp"
 #include "server/json.hpp"
 #include "server/protocol.hpp"
-#include "server/net.hpp"
 
 namespace {
 
@@ -56,108 +53,12 @@ int usage() {
   return 2;
 }
 
-// One client connection, abstracting the two transports behind "send this
-// verb with these JSON object members, give me the parsed response body".
-class Client {
- public:
-  Client(int fd, bool http, std::string ns)
-      : fd_(fd), reader_(fd), http_(http), ns_(std::move(ns)) {}
-
-  bool http() const { return http_; }
-
-  // `members` are the request-object members without the op, e.g.
-  // "\"solver\":\"greedy\",\"graphs\":[...]" (empty for admin verbs).
-  server::JsonValue exchange(const std::string& op, const std::string& members) {
-    if (!http_) {
-      std::string line = "{\"op\":\"" + op + "\"";
-      if (!members.empty()) line += "," + members;
-      line += "}";
-      return exchange_line(line);
-    }
-    // HTTP: the verb moves into the route.
-    if (op == "solve") return exchange_http("POST", "/v2/solve", "{" + members + "}");
-    if (op == "solvers") return exchange_http("GET", "/v2/solvers", "");
-    if (op == "stats") return exchange_http("GET", "/v2/stats", "");
-    if (op == "shutdown") return exchange_http("POST", "/v2/shutdown", "");
-    throw std::runtime_error("op '" + op + "' has no HTTP route in this client");
-  }
-
-  server::JsonValue put_graph(const std::string& graph_json) {
-    if (http_) return exchange_http("PUT", "/v2/graphs", graph_json);
-    return exchange_line("{\"op\":\"put_graph\",\"graph\":" + graph_json + "}");
-  }
-
-  server::JsonValue drop_graph(const std::string& handle) {
-    if (http_) return exchange_http("DELETE", "/v2/graphs/" + handle, "");
-    return exchange_line("{\"op\":\"drop_graph\",\"handle\":\"" + handle + "\"}");
-  }
-
-  // Line protocol: the session-wide namespace selection. (HTTP carries the
-  // namespace as a header on every request instead.)
-  void open_session() {
-    if (http_ || ns_.empty()) return;
-    std::string line = "{\"op\":\"open_session\",\"namespace\":";
-    server::json_append_string(line, ns_);
-    line += "}";
-    const auto response = exchange_line(line);
-    const server::JsonValue* ok = response.find("ok");
-    if (!ok || !ok->as_bool()) throw std::runtime_error("open_session failed");
-  }
-
-  server::JsonValue exchange_line(const std::string& line) {
-    if (!server::send_all(fd_, line + "\n")) {
-      throw std::runtime_error("send failed (server closed the connection?)");
-    }
-    const auto response = reader_.next_line(64u << 20);
-    if (!response) throw std::runtime_error("server closed the connection mid-exchange");
-    return server::json_parse(*response);
-  }
-
- private:
-  server::JsonValue exchange_http(const std::string& method, const std::string& target,
-                                  const std::string& body) {
-    std::string request = method + " " + target + " HTTP/1.1\r\nHost: lmds\r\n";
-    if (!ns_.empty()) request += "X-Lmds-Namespace: " + ns_ + "\r\n";
-    request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
-    if (!server::send_all(fd_, request)) {
-      throw std::runtime_error("send failed (server closed the connection?)");
-    }
-    // Status line, headers (only Content-Length matters to us), body.
-    const auto status_line = reader_.next_line(1u << 16);
-    if (!status_line || !status_line->starts_with("HTTP/1.1 ")) {
-      throw std::runtime_error("bad HTTP status line");
-    }
-    std::size_t content_length = 0;
-    while (true) {
-      const auto header = reader_.next_line(1u << 16);
-      if (!header) throw std::runtime_error("connection closed inside HTTP headers");
-      if (header->empty()) break;
-      static constexpr std::string_view kPrefix = "content-length:";
-      std::string lowered = *header;
-      for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-      if (lowered.starts_with(kPrefix)) {
-        content_length = static_cast<std::size_t>(
-            std::strtoull(header->c_str() + kPrefix.size(), nullptr, 10));
-      }
-    }
-    const auto body_bytes = reader_.read_exact(content_length);
-    if (!body_bytes) throw std::runtime_error("connection closed inside HTTP body");
-    return server::json_parse(*body_bytes);
-  }
-
-  int fd_;
-  server::LineReader reader_;
-  bool http_;
-  std::string ns_;
-};
-
-void require_ok(const server::JsonValue& response, const std::string& what) {
-  const server::JsonValue* ok = response.find("ok");
-  if (ok && ok->as_bool()) return;
-  const server::JsonValue* error = response.find("error");
-  throw std::runtime_error(what + " failed: " +
-                           (error ? error->as_string() : std::string("no error field")));
-}
+// The connection itself lives in src/server/client.hpp (ProtocolClient):
+// one class abstracting both transports behind "send this verb with these
+// JSON object members, give me the parsed response body". This file is only
+// the flag parsing and the demo/handles flows.
+using server::ProtocolClient;
+using server::require_ok;
 
 // The demo workload: small instances from the paper's generator families —
 // enough variety that a mixed-solver pass touches twin removal, cuts and the
@@ -185,7 +86,8 @@ constexpr Pass kPasses[] = {
 };
 
 // Runs one solve pass and returns the pass's cache hits.
-unsigned long long run_pass(Client& client, const Pass& pass, const std::string& graphs_json) {
+unsigned long long run_pass(ProtocolClient& client, const Pass& pass,
+                            const std::string& graphs_json) {
   const std::string members = std::string("\"solver\":\"") + pass.solver +
                               "\",\"options\":" + pass.options +
                               ",\"measure_ratio\":true,\"graphs\":" + graphs_json;
@@ -271,13 +173,14 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  const int fd = server::tcp_connect(host, port);
-  if (fd < 0) {
-    std::fprintf(stderr, "serve_client: cannot connect to %s:%d: %s\n", host.c_str(), port,
-                 std::strerror(errno));
+  std::unique_ptr<ProtocolClient> connection;
+  try {
+    connection = std::make_unique<ProtocolClient>(host, port, http, ns);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_client: %s\n", e.what());
     return 1;
   }
-  Client client(fd, http, ns);
+  ProtocolClient& client = *connection;
   unsigned long long total_hits = 0;
 
   try {
@@ -366,10 +269,8 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve_client: %s\n", e.what());
-    server::close_fd(fd);
     return 1;
   }
-  server::close_fd(fd);
 
   if (expect_hits && total_hits == 0) {
     std::fprintf(stderr, "serve_client: expected cache hits > 0, saw none\n");

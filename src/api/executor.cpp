@@ -71,6 +71,17 @@ std::vector<Response> BatchExecutor::run_impl(
 
   const bool use_cache = cache_.enabled() && !over.bypass_cache;
 
+  // Health counters: the batch exists once validation passed. The in-flight
+  // gauge must drop on every exit path (including a rethrown solver error),
+  // hence the RAII guard.
+  batches_started_.fetch_add(1, std::memory_order_relaxed);
+  batches_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  shards_executed_.fetch_add(static_cast<std::uint64_t>(shards), std::memory_order_relaxed);
+  struct InFlightGuard {
+    std::atomic<std::uint64_t>& gauge;
+    ~InFlightGuard() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+  } in_flight_guard{batches_in_flight_};
+
   std::vector<Response> out(count);
   // Per-batch counters: concurrent run_batch calls share the cache, so the
   // per-batch numbers must be counted at the access sites, not diffed from
@@ -169,6 +180,7 @@ std::vector<Response> BatchExecutor::run_impl(
 
     if (first_error) std::rethrow_exception(first_error);
     stolen_total = stolen.load();
+    solves_served_.fetch_add(count, std::memory_order_relaxed);
   }
 
   if (diag) {

@@ -23,6 +23,7 @@
 //    is annotated and checked inside ResponseCache itself (api/cache.hpp).
 //    Exercised under TSan by tests/test_concurrency.cpp.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -79,6 +80,18 @@ struct BatchDiagnostics {
   std::uint64_t cache_evictions = 0;
 };
 
+/// Lifetime load counters of one BatchExecutor, readable while batches run —
+/// the server surfaces them under `stats`/`GET /v2/stats` as `"executor"`, so
+/// a soak report can correlate ratio anomalies with load. Counted with
+/// relaxed atomics inside the executor; a snapshot is not a consistent cut
+/// across fields, which is fine for health reporting.
+struct ExecutorHealth {
+  std::uint64_t batches_started = 0;    ///< run_batch calls accepted (post-validation)
+  std::uint64_t batches_in_flight = 0;  ///< run_batch calls currently executing
+  std::uint64_t shards_executed = 0;    ///< shards dealt across all batches
+  std::uint64_t solves_served = 0;      ///< per-graph responses produced (cache hits included)
+};
+
 /// Sharded parallel batch runner with a response cache that persists across
 /// run_batch calls (a Registry-level convenience overload exists for one-shot
 /// batches; hold a BatchExecutor to get cross-batch cache hits).
@@ -122,6 +135,15 @@ class BatchExecutor {
   const BatchOptions& options() const { return opts_; }
   /// Lifetime counters of the executor's cache.
   CacheStats cache_stats() const { return cache_.stats(); }
+  /// Snapshot of the executor's load counters (see ExecutorHealth).
+  ExecutorHealth health() const {
+    ExecutorHealth h;
+    h.batches_started = batches_started_.load(std::memory_order_relaxed);
+    h.batches_in_flight = batches_in_flight_.load(std::memory_order_relaxed);
+    h.shards_executed = shards_executed_.load(std::memory_order_relaxed);
+    h.solves_served = solves_served_.load(std::memory_order_relaxed);
+    return h;
+  }
   void clear_cache() { cache_.clear(); }
   /// The executor's response cache — exposed so a serving front-end can
   /// snapshot it across restarts (ResponseCache::serialize/deserialize).
@@ -140,6 +162,12 @@ class BatchExecutor {
   BatchOptions opts_;
   const Registry& registry_;
   ResponseCache cache_;
+  // Health counters (not part of the no-shared-state claim above: they are
+  // monotone relaxed atomics, observational only, never read back by workers).
+  std::atomic<std::uint64_t> batches_started_{0};
+  std::atomic<std::uint64_t> batches_in_flight_{0};
+  std::atomic<std::uint64_t> shards_executed_{0};
+  std::atomic<std::uint64_t> solves_served_{0};
 };
 
 }  // namespace lmds::api

@@ -81,6 +81,16 @@ Graph random_cactus_of_structures(const CactusConfig& cfg, std::mt19937_64& rng)
   return b.build();
 }
 
+Graph random_cactus_of_structures(const CactusConfig& cfg, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_cactus_of_structures(cfg, rng);
+}
+
+Augmentation random_augmentation(const AugmentationConfig& cfg, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_augmentation(cfg, rng);
+}
+
 Augmentation random_augmentation(const AugmentationConfig& cfg, std::mt19937_64& rng) {
   if (cfg.base_vertices < 5) throw std::invalid_argument("augmentation: base too small");
   const Graph base = graph::gen::random_connected(cfg.base_vertices, cfg.base_extra_edges, rng);

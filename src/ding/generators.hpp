@@ -15,6 +15,7 @@
 // at single shared vertices, so the result excludes K_{2,t} for
 // t = max piece parameter + 1.
 
+#include <cstdint>
 #include <random>
 #include <vector>
 
@@ -39,6 +40,9 @@ struct CactusConfig {
 /// comment); small instances are cross-checked in tests with the exact
 /// tester.
 Graph random_cactus_of_structures(const CactusConfig& cfg, std::mt19937_64& rng);
+/// Seed overload: owns a fresh engine, so one uint64_t fully determines the
+/// graph (the replay contract the soak harness's repro files rely on).
+Graph random_cactus_of_structures(const CactusConfig& cfg, std::uint64_t seed);
 
 /// A Ding augmentation workload: a small random connected base graph with
 /// random fans and strips attached at distinct vertices (corner-sharing rule
@@ -64,5 +68,6 @@ struct Augmentation {
 };
 
 Augmentation random_augmentation(const AugmentationConfig& cfg, std::mt19937_64& rng);
+Augmentation random_augmentation(const AugmentationConfig& cfg, std::uint64_t seed);
 
 }  // namespace lmds::ding

@@ -244,6 +244,38 @@ Graph random_max_degree(int n, int max_degree, int extra_edges, std::mt19937_64&
   return tree;
 }
 
+// The uint64_t-seed overloads each own a fresh engine, so one recorded seed
+// regenerates one graph bit-for-bit (the soak harness's replay contract).
+Graph random_tree(int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_tree(n, rng);
+}
+
+Graph apollonian(int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return apollonian(n, rng);
+}
+
+Graph random_maximal_outerplanar(int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_maximal_outerplanar(n, rng);
+}
+
+Graph random_outerplanar(int n, double keep_chord, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_outerplanar(n, keep_chord, rng);
+}
+
+Graph random_max_degree(int n, int max_degree, int extra_edges, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_max_degree(n, max_degree, extra_edges, rng);
+}
+
+Graph random_connected(int n, int extra_edges, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_connected(n, extra_edges, rng);
+}
+
 Graph random_connected(int n, int extra_edges, std::mt19937_64& rng) {
   Graph tree = random_tree(n, rng);
   GraphBuilder b(n);

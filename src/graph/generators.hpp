@@ -12,8 +12,13 @@
 //  * random_max_degree — the K_{1,t}-minor-free row (max degree <= t-1).
 //
 // All random generators take an explicit std::mt19937_64 so every experiment
-// is reproducible from its seed.
+// is reproducible from its seed — there is no global or unseeded RNG anywhere
+// in the library. Each rng-taking generator also has a uint64_t-seed overload
+// that owns a fresh engine, so one number fully determines one graph; the
+// soak harness (src/soak) records exactly that number per generated graph and
+// its repro files replay from it.
 
+#include <cstdint>
 #include <random>
 
 #include "graph/graph.hpp"
@@ -48,6 +53,7 @@ Graph spider(int legs, int leg_length);
 /// Random tree built by uniform random attachment (vertex i attaches to a
 /// uniform vertex < i).
 Graph random_tree(int n, std::mt19937_64& rng);
+Graph random_tree(int n, std::uint64_t seed);
 
 /// Caterpillar: spine path of `spine` vertices, each with `legs` pendant
 /// leaves.
@@ -68,24 +74,29 @@ Graph clique_with_pendants(int n);
 /// each new vertex into a uniformly random face. Planar and 3-connected for
 /// n >= 4.
 Graph apollonian(int n, std::mt19937_64& rng);
+Graph apollonian(int n, std::uint64_t seed);
 
 /// Random maximal outerplanar graph: cycle 0..n-1 plus a uniformly random
 /// triangulation of the polygon (n >= 3).
 Graph random_maximal_outerplanar(int n, std::mt19937_64& rng);
+Graph random_maximal_outerplanar(int n, std::uint64_t seed);
 
 /// Random outerplanar graph: maximal outerplanar with each chord kept with
 /// probability keep_chord (the outer cycle is always kept, so the result is
 /// connected).
 Graph random_outerplanar(int n, double keep_chord, std::mt19937_64& rng);
+Graph random_outerplanar(int n, double keep_chord, std::uint64_t seed);
 
 /// Random connected graph with maximum degree <= max_degree: a random
 /// degree-capped tree plus random extra edges subject to the cap. Such graphs
 /// are K_{1,max_degree+1}-minor-free... in the star-minor sense used by the
 /// K_{1,t} row of Table 1 (a K_{1,t} *subgraph* needs a degree-t vertex).
 Graph random_max_degree(int n, int max_degree, int extra_edges, std::mt19937_64& rng);
+Graph random_max_degree(int n, int max_degree, int extra_edges, std::uint64_t seed);
 
 /// Random connected graph: random tree plus `extra_edges` uniform random
 /// non-edges.
 Graph random_connected(int n, int extra_edges, std::mt19937_64& rng);
+Graph random_connected(int n, int extra_edges, std::uint64_t seed);
 
 }  // namespace lmds::graph::gen

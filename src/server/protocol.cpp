@@ -325,7 +325,8 @@ std::string encode_solvers(const api::Registry& registry) {
 
 std::string encode_stats(const api::CacheStats& cache,
                          const std::map<std::string, api::NamespaceStats>& namespaces,
-                         const api::GraphStoreStats& store, const ServerCounters& server,
+                         const api::GraphStoreStats& store,
+                         const api::ExecutorHealth& executor, const ServerCounters& server,
                          double uptime_seconds) {
   std::string out = "{\"ok\":true,\"op\":\"stats\",\"cache\":{\"hits\":" +
                     std::to_string(cache.hits) + ",\"misses\":" + std::to_string(cache.misses) +
@@ -349,6 +350,10 @@ std::string encode_stats(const api::CacheStats& cache,
          ",\"reuses\":" + std::to_string(store.reuses) +
          ",\"drops\":" + std::to_string(store.drops) +
          ",\"evictions\":" + std::to_string(store.evictions) + "}";
+  out += ",\"executor\":{\"batches_started\":" + std::to_string(executor.batches_started) +
+         ",\"batches_in_flight\":" + std::to_string(executor.batches_in_flight) +
+         ",\"shards_executed\":" + std::to_string(executor.shards_executed) +
+         ",\"solves_served\":" + std::to_string(executor.solves_served) + "}";
   out += ",\"server\":{\"connections\":" + std::to_string(server.connections) +
          ",\"rejected_connections\":" + std::to_string(server.rejected) +
          ",\"requests\":" + std::to_string(server.requests) +

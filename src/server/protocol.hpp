@@ -165,10 +165,13 @@ struct ServerCounters {
 };
 
 /// The stats success line: global cache counters, the per-namespace slices,
-/// graph-store counters, server counters and uptime.
+/// graph-store counters, executor health (batches started / in flight,
+/// shards executed, solves served — api::ExecutorHealth), server counters
+/// and uptime.
 std::string encode_stats(const api::CacheStats& cache,
                          const std::map<std::string, api::NamespaceStats>& namespaces,
-                         const api::GraphStoreStats& store, const ServerCounters& server,
+                         const api::GraphStoreStats& store,
+                         const api::ExecutorHealth& executor, const ServerCounters& server,
                          double uptime_seconds);
 
 /// Generic {"ok":true,"op":<op>} line with optional extra fields appended

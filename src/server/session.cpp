@@ -195,7 +195,7 @@ std::string Session::do_stats() {
     namespaces = std::move(own);
   }
   return encode_stats(executor.cache_stats(), namespaces, core_.store().stats(),
-                      core_.counters(), core_.uptime_seconds());
+                      executor.health(), core_.counters(), core_.uptime_seconds());
 }
 
 std::string Session::do_snapshot(std::string_view verb, const JsonValue& root) {

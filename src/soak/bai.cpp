@@ -1,0 +1,81 @@
+#include "soak/bai.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lmds::soak {
+
+BaiSampler::BaiSampler(std::size_t arms, SamplingRule rule, double threshold,
+                       std::uint64_t min_pulls, std::uint64_t seed)
+    : arms_(arms), rule_(rule), threshold_(threshold), min_pulls_(min_pulls), rng_(seed) {
+  if (arms == 0) throw std::invalid_argument("BaiSampler: need at least one arm");
+}
+
+std::size_t BaiSampler::next_arm() {
+  // Warm-up (and the RoundRobin rule forever): uniform rotation, so every
+  // arm owns min_pulls_ samples before any mean is trusted.
+  const bool warming =
+      rule_ == SamplingRule::RoundRobin || total_ < min_pulls_ * arms_.size();
+  if (warming) {
+    const std::size_t arm = cursor_;
+    cursor_ = (cursor_ + 1) % arms_.size();
+    return arm;
+  }
+  if (confident_ || arms_.size() == 1) return best_arm();  // exploit the leader
+  // TopTwo: a fair seeded coin picks leader or challenger.
+  return (rng_() & 1) == 0 ? best_arm() : challenger_arm();
+}
+
+void BaiSampler::record(std::size_t arm, double reward) {
+  ArmStats& s = arms_.at(arm);
+  ++s.pulls;
+  const double delta = reward - s.mean;
+  s.mean += delta / static_cast<double>(s.pulls);
+  s.m2 += delta * (reward - s.mean);
+  ++total_;
+  if (!confident_) update_confidence();
+}
+
+std::size_t BaiSampler::best_arm() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < arms_.size(); ++i) {
+    if (arms_[i].mean > arms_[best].mean) best = i;
+  }
+  return best;
+}
+
+std::size_t BaiSampler::challenger_arm() const {
+  const std::size_t leader = best_arm();
+  std::size_t challenger = leader == 0 ? 1 % arms_.size() : 0;
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (i == leader) continue;
+    if (arms_[i].mean > arms_[challenger].mean) challenger = i;
+  }
+  return challenger;
+}
+
+void BaiSampler::update_confidence() {
+  if (arms_.size() < 2) {
+    if (arms_[0].pulls >= min_pulls_) {
+      confident_ = true;
+      decided_after_ = total_;
+    }
+    return;
+  }
+  const ArmStats& leader = arms_[best_arm()];
+  const ArmStats& runner = arms_[challenger_arm()];
+  if (leader.pulls < min_pulls_ || runner.pulls < min_pulls_) return;
+  // Welch z-score of the mean gap. A degenerate zero-variance pair with a
+  // real gap is infinitely separated; with no gap it never separates.
+  const double se2 = leader.variance() / static_cast<double>(leader.pulls) +
+                     runner.variance() / static_cast<double>(runner.pulls);
+  const double gap = leader.mean - runner.mean;
+  if (gap <= 0.0) return;
+  const bool separated = se2 <= 0.0 || gap / std::sqrt(se2) >= threshold_;
+  if (separated) {
+    confident_ = true;
+    decided_after_ = total_;
+  }
+}
+
+}  // namespace lmds::soak

@@ -1,0 +1,81 @@
+#pragma once
+// Best-arm identification for the soak harness, after the autoplay+BAI loop
+// of MAGPIE (SNIPPETS.md snippet 1): the solver/parameter configurations are
+// the arms, one batch's quality-and-throughput score is the reward, and the
+// sampler decides which configuration the next batch runs — ranking configs
+// without exhaustively sweeping them.
+//
+// Two sampling rules:
+//  * RoundRobin — uniform rotation, the exhaustive-sweep baseline;
+//  * TopTwo    — after a warm-up of min_pulls per arm, alternate between the
+//                empirical leader and its strongest challenger (the
+//                top-two-sampling family), with a seeded coin deciding which
+//                of the two fires.
+//
+// Stopping: the sampler reports confident() once a Welch-style z-score
+// between leader and challenger clears `threshold`. The harness keeps
+// sampling after that (exploiting the leader) — the soak loop's length is
+// the duration budget, not the stopping rule — but the report records when
+// confidence was reached. Everything is deterministic for a fixed seed.
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lmds::soak {
+
+enum class SamplingRule { RoundRobin, TopTwo };
+
+/// Welford-accumulated statistics of one arm.
+struct ArmStats {
+  std::uint64_t pulls = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations
+
+  double variance() const { return pulls < 2 ? 0.0 : m2 / static_cast<double>(pulls - 1); }
+};
+
+class BaiSampler {
+ public:
+  /// `threshold` is the z-score at which the leader is declared confidently
+  /// best; `min_pulls` is the per-arm warm-up before TopTwo (or stopping)
+  /// engages. `seed` drives the TopTwo coin only.
+  BaiSampler(std::size_t arms, SamplingRule rule, double threshold, std::uint64_t min_pulls,
+             std::uint64_t seed);
+
+  /// The arm the next batch should run.
+  std::size_t next_arm();
+
+  /// Records one reward for `arm`.
+  void record(std::size_t arm, double reward);
+
+  /// True once the leader/challenger z-score cleared the threshold (sticky).
+  bool confident() const { return confident_; }
+  /// Total rewards recorded when confidence was first reached (0 = never).
+  std::uint64_t decided_after() const { return decided_after_; }
+
+  /// Empirically best arm (highest mean; lowest index wins ties).
+  std::size_t best_arm() const;
+  /// Leader's strongest challenger: the arm a top-two rule would test the
+  /// leader against (highest mean among the rest).
+  std::size_t challenger_arm() const;
+
+  const std::vector<ArmStats>& arms() const { return arms_; }
+  std::uint64_t total_pulls() const { return total_; }
+
+ private:
+  void update_confidence();
+
+  std::vector<ArmStats> arms_;
+  SamplingRule rule_;
+  double threshold_;
+  std::uint64_t min_pulls_;
+  std::mt19937_64 rng_;
+  std::uint64_t total_ = 0;
+  std::size_t cursor_ = 0;  ///< round-robin position
+  bool confident_ = false;
+  std::uint64_t decided_after_ = 0;
+};
+
+}  // namespace lmds::soak

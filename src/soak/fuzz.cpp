@@ -1,0 +1,141 @@
+#include "soak/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace lmds::soak {
+
+namespace {
+
+// Framing guard: a mutated request must stay one line (see header comment).
+void strip_newlines(std::string& s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+}
+
+std::size_t pick_offset(std::mt19937_64& rng, std::size_t size) {
+  if (size == 0) return 0;
+  return static_cast<std::size_t>(rng() % size);
+}
+
+// Offsets of every quoted string in `s` (naive scan; good enough for
+// protocol lines, which never contain escaped quotes in their keys).
+std::vector<std::pair<std::size_t, std::size_t>> quoted_spans(const std::string& s) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '"') {
+      const std::size_t start = i++;
+      while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) ++i;
+        ++i;
+      }
+      if (i < s.size()) spans.emplace_back(start, i + 1 - start);
+      ++i;
+    } else {
+      ++i;
+    }
+  }
+  return spans;
+}
+
+}  // namespace
+
+std::string_view to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::Truncate: return "truncate";
+    case MutationKind::ByteFlip: return "byte_flip";
+    case MutationKind::InsertJunk: return "insert_junk";
+    case MutationKind::SwapKeys: return "swap_keys";
+    case MutationKind::BigNumber: return "big_number";
+    case MutationKind::DeepNest: return "deep_nest";
+    case MutationKind::OversizeGraph: return "oversize_graph";
+    case MutationKind::BinaryGarbage: return "binary_garbage";
+    case MutationKind::EmptyLine: return "empty_line";
+  }
+  return "unknown";
+}
+
+std::string mutate_line(const std::string& valid_line, MutationKind kind,
+                        std::mt19937_64& rng) {
+  std::string out = valid_line;
+  switch (kind) {
+    case MutationKind::Truncate:
+      out.resize(pick_offset(rng, out.size() + 1));
+      break;
+    case MutationKind::ByteFlip: {
+      const int flips = 1 + static_cast<int>(rng() % 4);
+      for (int f = 0; f < flips && !out.empty(); ++f) {
+        const std::size_t at = pick_offset(rng, out.size());
+        out[at] = static_cast<char>(out[at] ^ static_cast<char>(1u << (rng() % 7)));
+      }
+      break;
+    }
+    case MutationKind::InsertJunk: {
+      static constexpr std::string_view kJunk = "{}[]:,\"\\x00nulltrue-1e999";
+      const std::size_t at = pick_offset(rng, out.size() + 1);
+      std::string junk;
+      const int len = 1 + static_cast<int>(rng() % 12);
+      for (int i = 0; i < len; ++i) junk += kJunk[rng() % kJunk.size()];
+      out.insert(at, junk);
+      break;
+    }
+    case MutationKind::SwapKeys: {
+      const auto spans = quoted_spans(out);
+      if (spans.size() >= 2) {
+        const std::size_t a = rng() % spans.size();
+        std::size_t b = rng() % spans.size();
+        if (a == b) b = (b + 1) % spans.size();
+        const auto [first, second] = std::minmax(spans[a], spans[b]);
+        const std::string s1 = out.substr(first.first, first.second);
+        const std::string s2 = out.substr(second.first, second.second);
+        // Replace back-to-front so the earlier offset stays valid.
+        out.replace(second.first, second.second, s1);
+        out.replace(first.first, first.second, s2);
+      }
+      break;
+    }
+    case MutationKind::BigNumber: {
+      const std::size_t digit = out.find_first_of("0123456789");
+      if (digit != std::string::npos) {
+        std::size_t end = digit;
+        while (end < out.size() && std::isdigit(static_cast<unsigned char>(out[end]))) ++end;
+        const char* huge = (rng() & 1) ? "99999999999999999999999999" : "-18446744073709551616";
+        out.replace(digit, end - digit, huge);
+      }
+      break;
+    }
+    case MutationKind::DeepNest: {
+      const int depth = 32 + static_cast<int>(rng() % 96);  // beyond the parser's 64 cap
+      out = std::string(static_cast<std::size_t>(depth), '[') + out +
+            std::string(static_cast<std::size_t>(depth), ']');
+      break;
+    }
+    case MutationKind::OversizeGraph:
+      out = oversize_solve_line(2'000'000 + static_cast<int>(rng() % 1'000'000));
+      break;
+    case MutationKind::BinaryGarbage: {
+      const std::size_t keep = pick_offset(rng, out.size() + 1);
+      out.resize(keep);
+      const int len = 1 + static_cast<int>(rng() % 24);
+      for (int i = 0; i < len; ++i) out += static_cast<char>(rng() & 0xff);
+      break;
+    }
+    case MutationKind::EmptyLine:
+      out.clear();
+      break;
+  }
+  strip_newlines(out);
+  return out;
+}
+
+std::string oversize_solve_line(int vertices) {
+  // Tiny on the wire, enormous in claimed vertex count — probes the
+  // max_graph_vertices guard, not the line-size one.
+  return "{\"op\":\"solve\",\"solver\":\"greedy\",\"graphs\":[{\"n\":" +
+         std::to_string(vertices) + ",\"edges\":[[0,1]]}]}";
+}
+
+}  // namespace lmds::soak

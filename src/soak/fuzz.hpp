@@ -1,0 +1,48 @@
+#pragma once
+// Protocol fuzzing for the soak harness: deterministic mutations of valid
+// v1/v2 request lines. The mutation engine is pure string work (seeded rng
+// in, mutated line out) so tests/test_soak.cpp can round-trip every mutation
+// kind through protocol.cpp's parser under asan-ubsan without a socket; the
+// harness (harness.cpp) sends the same mutations at a live server and
+// asserts the invariant the server must keep: answer with a protocol error
+// or close the connection — never crash, never wedge.
+//
+// Mutated lines never contain '\n' or '\r' (stripped after mutation), so a
+// mutation attacks the request *parser*, not the line framing — a framing
+// break would just concatenate into a different single line anyway.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace lmds::soak {
+
+/// The mutation classes the fuzzer cycles through.
+enum class MutationKind {
+  Truncate,       ///< cut the line at a random byte
+  ByteFlip,       ///< flip random bits in random bytes
+  InsertJunk,     ///< splice printable garbage at a random offset
+  SwapKeys,       ///< swap two quoted strings (field names/values)
+  BigNumber,      ///< replace a digit run with a huge literal
+  DeepNest,       ///< wrap the line in many array brackets
+  OversizeGraph,  ///< a syntactically valid solve whose graph busts limits
+  BinaryGarbage,  ///< non-UTF-8 noise appended to a valid prefix
+  EmptyLine,      ///< the degenerate ""
+};
+
+inline constexpr int kMutationKinds = 9;
+
+std::string_view to_string(MutationKind kind);
+
+/// Applies `kind` to `valid_line`. Deterministic in (valid_line, rng state).
+/// The result contains no '\n'/'\r'.
+std::string mutate_line(const std::string& valid_line, MutationKind kind,
+                        std::mt19937_64& rng);
+
+/// A syntactically well-formed solve line whose inline graph claims
+/// `vertices` vertices — the OversizeGraph payload (also used directly by
+/// the harness to probe ServerLimits::max_graph_vertices).
+std::string oversize_solve_line(int vertices);
+
+}  // namespace lmds::soak

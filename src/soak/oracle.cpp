@@ -1,0 +1,84 @@
+#include "soak/oracle.hpp"
+
+#include <cmath>
+
+#include "core/constants.hpp"
+#include "core/metrics.hpp"
+#include "solve/validate.hpp"
+
+namespace lmds::soak {
+
+namespace {
+
+int option_int(const api::Options& options, std::string_view name, int fallback) {
+  const auto it = options.find(name);
+  return it == options.end() ? fallback : it->second.as_int();
+}
+
+}  // namespace
+
+double ratio_bound(std::string_view solver, const api::Options& options, int certified_t,
+                   int n) {
+  if (solver == "exact" || solver == "exact-mvc") return 1.0;
+  if (solver == "greedy") return 1.0 + std::log(static_cast<double>(n));
+  if (certified_t <= 0) return 0.0;  // no certificate, no minor-free bound
+  if (solver == "theorem44") {
+    return static_cast<double>(core::PaperConstants{certified_t, 1}.theorem44_mds_ratio());
+  }
+  if (solver == "theorem44-mvc") {
+    return static_cast<double>(core::PaperConstants{certified_t, 1}.theorem44_mvc_ratio());
+  }
+  if (solver == "algorithm1") {
+    // Theorem 4.1's constant holds for the paper's radii only — the registry
+    // defaults (radius1 = radius2 = 4) are ablation overrides with no proven
+    // bound — and for an options t at least the certificate's (the class
+    // parameter must contain the input's class).
+    const int t = option_int(options, "t", 5);
+    const int radius1 = option_int(options, "radius1", 4);
+    const int radius2 = option_int(options, "radius2", 4);
+    if (t < certified_t || radius1 > 0 || radius2 > 0) return 0.0;
+    return static_cast<double>(core::PaperConstants{t, 1}.derived_ratio());
+  }
+  return 0.0;  // ksv / take-all / tree-rule / algorithm1-mvc: validity only
+}
+
+OracleVerdict check_response(const GraphCase& c, std::string_view solver,
+                             const api::Options& options, api::Problem problem,
+                             std::span<const graph::Vertex> solution) {
+  OracleVerdict v;
+  const int n = c.graph.num_vertices();
+  for (const graph::Vertex u : solution) {
+    if (u < 0 || u >= n) {
+      v.reason = "solution names vertex " + std::to_string(u) + " outside [0, " +
+                 std::to_string(n) + ")";
+      return v;
+    }
+  }
+  v.valid = problem == api::Problem::Mvc ? solve::is_vertex_cover(c.graph, solution)
+                                         : solve::is_dominating_set(c.graph, solution);
+  if (!v.valid) {
+    v.reason = problem == api::Problem::Mvc ? "solution is not a vertex cover"
+                                            : "solution is not a dominating set";
+    return v;
+  }
+
+  const double bound = ratio_bound(solver, options, c.certified_t, n);
+  if (bound <= 0.0) return v;  // validity-only solver/case
+
+  const core::RatioReport report = problem == api::Problem::Mvc
+                                       ? core::measure_mvc_ratio(c.graph, solution)
+                                       : core::measure_mds_ratio(c.graph, solution);
+  if (!report.exact) return v;  // reference is only a lower bound: a ratio
+                                // above the bound would not be a violation
+  v.ratio_checked = true;
+  v.ratio = report.ratio;
+  v.bound = bound;
+  if (report.ratio > bound + 1e-9) {
+    v.reason = "ratio " + report.to_string() + " exceeds the proven bound " +
+               std::to_string(bound) + " for " + std::string(solver) + " on " + c.family +
+               " (K_{2," + std::to_string(c.certified_t) + "}-minor-free)";
+  }
+  return v;
+}
+
+}  // namespace lmds::soak

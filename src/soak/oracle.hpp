@@ -1,0 +1,56 @@
+#pragma once
+// The soak harness's validity oracle: every response a live server produces
+// is re-checked client-side against the paper's guarantees. Two layers:
+//
+//  1. Validity — the returned set must actually dominate (MDS solvers) or
+//     cover every edge (MVC solvers), re-verified with solve/validate.hpp on
+//     the locally regenerated graph, never trusted from the wire.
+//  2. Approximation ratio — when the exact reference is computable
+//     (core::measure_*_ratio reports exact = true; soak keeps instances
+//     small so it usually is) and the case carries a K_{2,t}-minor-free
+//     certificate, the ratio must not exceed the solver's proven bound:
+//       algorithm1 (paper radii, options t >= certified t)  -> 51
+//                  (PaperConstants::derived_ratio; see constants.hpp on the
+//                   printed-50 vs derived-51 gap)
+//       theorem44       -> 2t - 1      theorem44-mvc -> t
+//       greedy          -> 1 + ln n    exact / exact-mvc -> 1
+//     Everything else (ksv, take-all, tree-rule, algorithm1-mvc, ablation
+//     radii, uncertified families) is validity-only.
+//
+// The oracle is a pure function of (case, request, solution) — reusable from
+// tests/test_soak.cpp without a server.
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "api/api.hpp"
+#include "soak/workload.hpp"
+
+namespace lmds::soak {
+
+/// What the oracle concluded about one response.
+struct OracleVerdict {
+  bool valid = false;          ///< solution dominates / covers
+  bool ratio_checked = false;  ///< a bound applied AND the reference was exact
+  double ratio = 0.0;          ///< |solution| / reference (when reference exact)
+  double bound = 0.0;          ///< the bound asserted (when ratio_checked)
+  std::string reason;          ///< empty iff ok()
+
+  bool ok() const { return reason.empty(); }
+};
+
+/// The proven approximation bound for `solver` on a K_{2,certified_t}-free
+/// instance of `n` vertices under `options`, or 0 when no bound applies
+/// (unknown solver, uncertified case, ablation radii, options t below the
+/// certificate).
+double ratio_bound(std::string_view solver, const api::Options& options, int certified_t,
+                   int n);
+
+/// Checks one response. `problem` is the solver's declared problem (the
+/// oracle validates against the right predicate). Never throws.
+OracleVerdict check_response(const GraphCase& c, std::string_view solver,
+                             const api::Options& options, api::Problem problem,
+                             std::span<const graph::Vertex> solution);
+
+}  // namespace lmds::soak

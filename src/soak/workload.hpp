@@ -1,0 +1,43 @@
+#pragma once
+// Workload generation for the soak harness: an infinite, deterministic
+// stream of graphs from the paper's minor-free families. Case `index` of a
+// run is a pure function of (run_seed, index) — the report records the two
+// numbers, and a repro regenerates the exact graph bit-for-bit via the
+// uint64_t-seed generator overloads (graph/generators.hpp,
+// ding/generators.hpp).
+//
+// Each case carries the family's K_{2,t}-minor-free certificate when one is
+// known by construction (trees exclude K_{2,2}, outerplanar graphs K_{2,4},
+// theta chains K_{2,parallel+1}, Ding cacti K_{2,cfg.t}); the oracle only
+// asserts the paper's approximation bounds on certified cases. Apollonian
+// networks are planar but carry no K_{2,t} certificate, so they exercise
+// validity only.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lmds::soak {
+
+/// One generated workload item.
+struct GraphCase {
+  std::string family;     ///< "tree" | "outerplanar" | "theta" | "cactus" | "apollonian"
+  graph::Graph graph;
+  std::uint64_t seed = 0; ///< generator seed ((run_seed, index)-mixed; 0 for seedless families)
+  int certified_t = 0;    ///< K_{2,certified_t}-minor-free by construction; 0 = uncertified
+};
+
+/// Number of families make_case cycles through.
+inline constexpr std::uint64_t kFamilies = 5;
+
+/// splitmix64 of (run_seed, index) — the per-case generator seed. Exposed so
+/// tests and the repro dumper derive the same seed the harness used.
+std::uint64_t mix_seed(std::uint64_t run_seed, std::uint64_t index);
+
+/// Case `index` of the run seeded `run_seed`. Sizes are kept small enough
+/// (tens of vertices) that the oracle's exact reference usually finishes, so
+/// ratio bounds are actually asserted rather than skipped.
+GraphCase make_case(std::uint64_t run_seed, std::uint64_t index);
+
+}  // namespace lmds::soak
