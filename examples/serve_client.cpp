@@ -7,7 +7,10 @@
 // snapshot verbs, so one client invocation exercises solve + admin paths
 // end-to-end. The --handles flow is the protocol-v2 smoke: put_graph each
 // demo graph once, solve by handle, then solve by handle again — the repeat
-// must be all cache hits.
+// must be all cache hits. The --patch flow is the v2.1 smoke: put a grid,
+// solve it, patch_graph a small edit batch onto it, then solve the derived
+// handle twice — first incrementally (ball-granular re-solve), then from
+// cache.
 //
 //   $ ./serve_client --port 7411 --demo --save cache.lmds --shutdown
 //   $ ./serve_client --port 7411 --demo --expect-hits       # warm restart
@@ -33,6 +36,7 @@
 #include "api/api.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/ops.hpp"
 #include "server/client.hpp"
 #include "server/json.hpp"
 #include "server/protocol.hpp"
@@ -44,7 +48,7 @@ using namespace lmds;
 int usage() {
   std::fprintf(stderr,
                "usage: serve_client [--host H] --port P [--http] [--namespace NS]\n"
-               "                    [--demo] [--handles] [--expect-hits]\n"
+               "                    [--demo] [--handles] [--patch] [--expect-hits]\n"
                "                    [--solvers] [--stats] [--save FILE] [--load FILE]\n"
                "                    [--send JSON_LINE] [--shutdown]\n"
                "Actions run in the order listed above; --send may repeat.\n"
@@ -85,12 +89,16 @@ constexpr Pass kPasses[] = {
     {"greedy", "{}"},
 };
 
-// Runs one solve pass and returns the pass's cache hits.
+// Runs one solve pass and returns the pass's cache hits. The patch flow runs
+// with measure_ratio off: the ratio measurement is part of the cache key, and
+// the incremental path only fires when the child solve's key matches the key
+// the parent's response was cached under.
 unsigned long long run_pass(ProtocolClient& client, const Pass& pass,
-                            const std::string& graphs_json) {
+                            const std::string& graphs_json, bool measure_ratio = true) {
   const std::string members = std::string("\"solver\":\"") + pass.solver +
                               "\",\"options\":" + pass.options +
-                              ",\"measure_ratio\":true,\"graphs\":" + graphs_json;
+                              (measure_ratio ? ",\"measure_ratio\":true" : "") +
+                              ",\"graphs\":" + graphs_json;
   const auto response = client.exchange("solve", members);
   require_ok(response, std::string("solve ") + pass.solver);
   const auto& responses = response.find("responses")->as_array();
@@ -103,9 +111,15 @@ unsigned long long run_pass(ProtocolClient& client, const Pass& pass,
   }
   const server::JsonValue* diag = response.find("diag");
   const auto hits = static_cast<unsigned long long>(diag->find("cache_hits")->as_int());
-  std::printf("solve %-12s %zu graphs  Σ|S|=%-4zu  hits=%llu misses=%lld\n", pass.solver,
+  std::string incremental;
+  if (const server::JsonValue* inc = diag->find("incremental_solves")) {
+    incremental = "  incremental=" + std::to_string(inc->as_int()) +
+                  " dirty=" + std::to_string(diag->find("incremental_dirty")->as_int());
+  }
+  std::printf("solve %-12s %zu graphs  Σ|S|=%-4zu  hits=%llu misses=%lld%s\n", pass.solver,
               responses.size(), total_size, hits,
-              static_cast<long long>(diag->find("cache_misses")->as_int()));
+              static_cast<long long>(diag->find("cache_misses")->as_int()),
+              incremental.c_str());
   return hits;
 }
 
@@ -114,7 +128,7 @@ unsigned long long run_pass(ProtocolClient& client, const Pass& pass,
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
-  bool http = false, demo = false, handles = false, expect_hits = false;
+  bool http = false, demo = false, handles = false, patch = false, expect_hits = false;
   bool solvers = false, stats = false, shutdown = false;
   std::string ns, save_path, load_path;
   std::vector<std::string> raw_lines;
@@ -142,6 +156,8 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (arg == "--handles") {
       handles = true;
+    } else if (arg == "--patch") {
+      patch = true;
     } else if (arg == "--expect-hits") {
       expect_hits = true;
     } else if (arg == "--solvers") {
@@ -224,6 +240,29 @@ int main(int argc, char** argv) {
       std::printf("put_graph: %zu graphs uploaded\n", gs.size());
       for (const Pass& pass : kPasses) (void)run_pass(client, pass, handles_json);
       for (const Pass& pass : kPasses) total_hits += run_pass(client, pass, handles_json);
+    }
+
+    if (patch) {
+      // Protocol v2.1: upload a grid, solve it cold, derive a child handle
+      // with a three-edit patch, then solve the child twice. The first child
+      // solve must be answered incrementally (ball-granular re-solve over the
+      // edited balls only), the second from cache.
+      const auto put = client.put_graph(server::encode_graph_json(graph::gen::grid(6, 6)));
+      require_ok(put, "put_graph");
+      const std::string parent = put.find("handle")->as_string();
+      const Pass local_pass{"theorem44", "{}"};
+      (void)run_pass(client, local_pass, "[\"" + parent + "\"]", /*measure_ratio=*/false);
+      graph::GraphPatch edits;
+      edits.add = {{0, 7}, {14, 21}};
+      edits.del = {{0, 1}};
+      const auto patched = client.patch_graph(parent, server::encode_patch_members(edits));
+      require_ok(patched, "patch_graph");
+      const std::string child = patched.find("handle")->as_string();
+      std::printf("patch_graph: %s -> %s (n=%lld m=%lld)\n", parent.c_str(), child.c_str(),
+                  static_cast<long long>(patched.find("n")->as_int()),
+                  static_cast<long long>(patched.find("m")->as_int()));
+      (void)run_pass(client, local_pass, "[\"" + child + "\"]", /*measure_ratio=*/false);
+      total_hits += run_pass(client, local_pass, "[\"" + child + "\"]", /*measure_ratio=*/false);
     }
 
     for (const std::string& line : raw_lines) {

@@ -2,9 +2,11 @@
 # End-to-end serving smoke cycle: start lmds_serve (both transports), drive
 # the line protocol with a mixed-solver demo batch + admin verbs, run the
 # protocol-v2 put_graph/solve/warm-hit cycle over HTTP and over the line
-# protocol in an isolated namespace, save a cache snapshot, restart the
-# server from it, and require the replayed batch to answer from the warmed
-# cache (--expect-hits exits non-zero on zero hits).
+# protocol in an isolated namespace — each v2 pass also exercising the
+# v2.1 put→patch→solve cycle (--patch derives a handle and requires the
+# child solve to be answered incrementally) — save a cache snapshot,
+# restart the server from it, and require the replayed batch to answer
+# from the warmed cache (--expect-hits exits non-zero on zero hits).
 #
 # Usage: scripts/serve_smoke.sh BUILD_DIR [WORK_DIR]
 #
@@ -40,11 +42,11 @@ wait_for_file http_port.txt
 # Protocol v2 over HTTP: upload handles, solve by handle, repeat — the
 # repeat must be all cache hits (warm-hit cycle).
 "$BUILD_DIR/serve_client" --port "$(cat http_port.txt)" --http \
-  --handles --expect-hits --stats
+  --handles --patch --expect-hits --stats
 # Same cycle over the line protocol in an isolated namespace: the first
 # pass must be cold again (namespace isolation), the repeat warm.
 "$BUILD_DIR/serve_client" --port "$(cat port.txt)" --namespace ci-tenant \
-  --handles --expect-hits --shutdown
+  --handles --patch --expect-hits --shutdown
 wait "$SERVER_PID"
 test -s cache.lmds
 test -s cache_explicit.lmds

@@ -109,6 +109,16 @@ struct SolverSpec {
   std::vector<Mode> modes = {Mode::Centralized};  ///< supported execution modes
   std::string summary;  ///< one line for --help / docs
   std::vector<ParamSpec> params;
+  /// LOCAL decomposability radius: if >= 0, a vertex's membership in the
+  /// solution is a pure function of its radius-`locality_radius` ball as an
+  /// *induced labelled subgraph* — vertex ids may be compared for order
+  /// (tie-breaks) but never used as values, so any order-preserving
+  /// relabelling of the ball yields the same decision. This is the license
+  /// for the executor's ball-granular incremental re-solve after an edge
+  /// patch: only vertices whose ball touches an edited edge can change.
+  /// -1 = not decomposable (global coordination, diagnostics or optimality),
+  /// and patched graphs fall back to a full re-solve.
+  int locality_radius = -1;
 
   bool supports(Mode m) const;
   /// Default of a declared parameter; throws std::invalid_argument if the

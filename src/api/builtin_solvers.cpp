@@ -135,7 +135,10 @@ void register_builtin_solvers(Registry& reg) {
            .problem = Problem::Mds,
            .modes = {Mode::Centralized, Mode::Local},
            .summary = "Theorem 4.4: 3-round (2t-1)-approx MDS (D2 rule on G^-)",
-           .params = {}},
+           .params = {},
+           // v joins unless a neighbour true-twins or strictly contains it;
+           // both tests read N[u] for u in N[v], i.e. ball(v, 2).
+           .locality_radius = 2},
           [](const SolveContext& ctx) {
             auto result = ctx.local ? core::theorem44_mds_local(local::Network(ctx.graph))
                                     : core::theorem44_mds(ctx.graph);
@@ -146,7 +149,10 @@ void register_builtin_solvers(Registry& reg) {
            .problem = Problem::Mvc,
            .modes = {Mode::Centralized, Mode::Local},
            .summary = "Theorem 4.4: 3-round t-approx MVC (degree >= 2 rule)",
-           .params = {}},
+           .params = {},
+           // deg(v) >= 2 joins; an isolated edge elects its smaller endpoint,
+           // which needs the neighbour's degree — ball(v, 2).
+           .locality_radius = 2},
           [](const SolveContext& ctx) {
             auto result = ctx.local ? core::theorem44_mvc_local(local::Network(ctx.graph))
                                     : core::theorem44_mvc(ctx.graph);
@@ -180,7 +186,12 @@ void register_builtin_solvers(Registry& reg) {
            .problem = Problem::Mds,
            .modes = {Mode::Centralized},
            .summary = "KSV-style bounded-expansion rule [18]: gamma(v) > k joins, greedy fixup",
-           .params = {{"k", 3, "domination threshold (k = 2*grad+1 in [18])"}}},
+           .params = {{"k", 3, "domination threshold (k = 2*grad+1 in [18])"}},
+           // gamma(y) reads ball(y, 2); v's "dominated" flag needs gamma of
+           // ball(v, 3), so its nomination is f(ball(v, 5)); membership of b
+           // needs the nominations of N[b] — ball(b, 6). The greedy-fixup
+           // tie-break compares candidate ids for order only.
+           .locality_radius = 6},
           [](const SolveContext& ctx) {
             return plain(core::ksv_style(ctx.graph, param(ctx, "k").as_int()), 4);
           });
@@ -189,14 +200,18 @@ void register_builtin_solvers(Registry& reg) {
            .problem = Problem::Mds,
            .modes = {Mode::Centralized},
            .summary = "all vertices: 0 rounds, t-approx on K_{1,t}-minor-free graphs",
-           .params = {}},
+           .params = {},
+           .locality_radius = 0},
           [](const SolveContext& ctx) { return plain(core::take_all(ctx.graph), 0); });
 
   reg.add({.name = "tree-rule",
            .problem = Problem::Mds,
            .modes = {Mode::Centralized},
            .summary = "folklore tree rule: degree >= 2 plus small-component fixups, 2 rounds",
-           .params = {}},
+           .params = {},
+           // Same shape as theorem44-mvc's rule: the pendant fixup reads the
+           // neighbour's degree — ball(v, 2).
+           .locality_radius = 2},
           [](const SolveContext& ctx) { return plain(core::tree_degree_rule(ctx.graph), 2); });
 }
 

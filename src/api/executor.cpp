@@ -7,7 +7,10 @@
 
 #include "api/registry.hpp"
 #include "common/mutex.hpp"
+#include "graph/bfs.hpp"
 #include "graph/hash.hpp"
+#include "graph/ops.hpp"
+#include "solve/validate.hpp"
 
 namespace lmds::api {
 
@@ -35,20 +38,21 @@ std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
       req, over, diag);
 }
 
-std::vector<Response> BatchExecutor::run_batch(std::string_view solver,
-                                               std::span<const Graph* const> graphs,
-                                               const Request& req, const BatchOverrides& over,
-                                               BatchDiagnostics* diag,
-                                               std::span<const std::uint64_t> graph_hashes) {
+std::vector<Response> BatchExecutor::run_batch(
+    std::string_view solver, std::span<const Graph* const> graphs, const Request& req,
+    const BatchOverrides& over, BatchDiagnostics* diag,
+    std::span<const std::uint64_t> graph_hashes,
+    std::span<const std::shared_ptr<const PatchLineage>> lineages) {
   return run_impl(
       solver, [graphs](std::size_t i) -> const Graph& { return *graphs[i]; }, graphs.size(),
-      req, over, diag, graph_hashes);
+      req, over, diag, graph_hashes, lineages);
 }
 
 std::vector<Response> BatchExecutor::run_impl(
     std::string_view solver, const std::function<const Graph&(std::size_t)>& graph_at,
     std::size_t count, const Request& req, const BatchOverrides& over,
-    BatchDiagnostics* diag, std::span<const std::uint64_t> graph_hashes) {
+    BatchDiagnostics* diag, std::span<const std::uint64_t> graph_hashes,
+    std::span<const std::shared_ptr<const PatchLineage>> lineages) {
   // Validate once, up front: a malformed request throws here, on the calling
   // thread, before any worker spawns or cache entry is touched. Workers then
   // take the trusted run_resolved path — one name lookup per graph, no
@@ -90,6 +94,16 @@ std::vector<Response> BatchExecutor::run_impl(
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> incr_solves{0};
+  std::atomic<std::uint64_t> incr_fallbacks{0};
+  std::atomic<std::uint64_t> incr_dirty{0};
+  // Incremental eligibility, per batch: the splice base is the parent's
+  // *cached* response, so the cache must be live; traffic/ratio are global
+  // measurements a per-vertex splice cannot patch, so they force a full run.
+  const SolverSpec* spec = registry_.find(solver);
+  const int locality = spec ? spec->locality_radius : -1;
+  const bool lineage_ok =
+      !lineages.empty() && use_cache && !req.measure_traffic && !req.measure_ratio;
   if (count > 0) {
     const std::string options_key =
         use_cache ? canonical_options(resolved, req.measure_traffic, req.measure_ratio)
@@ -115,6 +129,99 @@ std::vector<Response> BatchExecutor::run_impl(
     std::exception_ptr first_error;
     std::size_t error_index = count;
 
+    // Ball-granular incremental re-solve of a patched graph `g` against its
+    // lineage. Correctness rests on the locality contract (SolverSpec::
+    // locality_radius): a vertex at distance > r from every edited endpoint
+    // (in parent AND child — a deleted edge can shorten paths only in the
+    // parent, an added one only in the child) has the exact same induced
+    // radius-r ball in both graphs, so its parent decision stands verbatim.
+    // Every other ("dirty") vertex is re-decided on H = child[ball(dirty, r)]:
+    // for dirty v, ball_H(v, r) == ball_child(v, r) (all shortest paths stay
+    // inside the support), induced_subgraph relabels order-preservingly, and
+    // the contract allows ids to be used for order only — so running the
+    // solver on H and lifting yields the vertex's exact full-solve decision.
+    // nullopt = fall back to a full re-solve (results identical either way).
+    auto incremental_solve = [&](const Graph& g,
+                                 const PatchLineage& lin) -> std::optional<Response> {
+      const CacheKey parent_key{lin.parent_hash, std::string(solver), options_key,
+                                over.cache_namespace};
+      std::optional<Response> parent = cache_.lookup(parent_key);
+      if (!parent) return std::nullopt;
+      const Graph& pg = *lin.parent;
+      const auto pn = static_cast<graph::Vertex>(pg.num_vertices());
+      const auto cn = static_cast<graph::Vertex>(g.num_vertices());
+
+      std::vector<graph::Vertex> child_eps;
+      for (const auto* edits : {&lin.added, &lin.removed}) {
+        for (const graph::Edge& e : *edits) {
+          child_eps.push_back(e.u);
+          child_eps.push_back(e.v);
+        }
+      }
+      std::sort(child_eps.begin(), child_eps.end());
+      child_eps.erase(std::unique(child_eps.begin(), child_eps.end()), child_eps.end());
+      std::vector<graph::Vertex> parent_eps;  // added edges may name new vertices
+      for (graph::Vertex v : child_eps) {
+        if (v < pn) parent_eps.push_back(v);
+      }
+
+      std::vector<char> dirty(static_cast<std::size_t>(cn), 0);
+      for (graph::Vertex v : graph::ball_of_set(pg, parent_eps, locality)) {
+        dirty[static_cast<std::size_t>(v)] = 1;
+      }
+      for (graph::Vertex v : graph::ball_of_set(g, child_eps, locality)) {
+        dirty[static_cast<std::size_t>(v)] = 1;
+      }
+      for (graph::Vertex v = pn; v < cn; ++v) dirty[static_cast<std::size_t>(v)] = 1;
+      std::vector<graph::Vertex> dirty_list;
+      for (graph::Vertex v = 0; v < cn; ++v) {
+        if (dirty[static_cast<std::size_t>(v)]) dirty_list.push_back(v);
+      }
+
+      std::vector<char> in_parent(static_cast<std::size_t>(pn), 0);
+      for (graph::Vertex v : parent->solution) in_parent[static_cast<std::size_t>(v)] = 1;
+      Response result = *std::move(parent);  // solver/problem/diag carry over:
+      // every decomposable solver's diagnostics are solution-independent
+      // constants (its round count), and traffic/ratio are excluded above.
+      result.solution.clear();
+      std::vector<char> in_sub;
+      graph::Subgraph support;
+      if (!dirty_list.empty()) {
+        support = graph::induced_subgraph(g, graph::ball_of_set(g, dirty_list, locality));
+        // Memoized under the ball-signature sub-key: content hash of the
+        // support subgraph + a "|ball=r<r>" marker no canonical_options()
+        // string can collide with (its fields escape '|'). Identical dirty
+        // regions — e.g. the same edit replayed elsewhere in the graph —
+        // share the entry, so sub-solves survive edits outside their ball.
+        const CacheKey sub_key{graph::graph_hash(support.graph), std::string(solver),
+                               options_key + "|ball=r" + std::to_string(locality),
+                               over.cache_namespace};
+        Response sub;
+        if (std::optional<Response> sub_hit = cache_.lookup(sub_key)) {
+          sub = *std::move(sub_hit);
+        } else {
+          sub = registry_.run_resolved(solver, support.graph, resolved, false, false);
+          cache_.insert(sub_key, sub);
+        }
+        in_sub.assign(static_cast<std::size_t>(support.graph.num_vertices()), 0);
+        for (graph::Vertex v : sub.solution) in_sub[static_cast<std::size_t>(v)] = 1;
+      }
+      for (graph::Vertex v = 0; v < cn; ++v) {
+        // A clean vertex is < pn by construction (new vertices are all dirty).
+        const bool member =
+            dirty[static_cast<std::size_t>(v)]
+                ? in_sub[static_cast<std::size_t>(
+                      support.from_parent[static_cast<std::size_t>(v)])] != 0
+                : in_parent[static_cast<std::size_t>(v)] != 0;
+        if (member) result.solution.push_back(v);
+      }
+      result.valid = spec->problem == Problem::Mvc
+                         ? solve::is_vertex_cover(g, result.solution)
+                         : solve::is_dominating_set(g, result.solution);
+      incr_dirty.fetch_add(dirty_list.size(), std::memory_order_relaxed);
+      return result;
+    };
+
     auto run_one = [&](std::size_t i) {
       const Graph& g = graph_at(i);
       CacheKey key;
@@ -128,6 +235,20 @@ std::vector<Response> BatchExecutor::run_impl(
           out[i] = *std::move(hit);
           return;
         }
+      }
+      if (const PatchLineage* lin =
+              lineage_ok && i < lineages.size() ? lineages[i].get() : nullptr) {
+        if (std::optional<Response> spliced =
+                locality >= 0 ? incremental_solve(g, *lin) : std::nullopt) {
+          incr_solves.fetch_add(1, std::memory_order_relaxed);
+          out[i] = *std::move(spliced);
+          misses.fetch_add(1, std::memory_order_relaxed);
+          if (cache_.insert(key, out[i])) {
+            evictions.fetch_add(1, std::memory_order_relaxed);
+          }
+          return;
+        }
+        incr_fallbacks.fetch_add(1, std::memory_order_relaxed);
       }
       out[i] = registry_.run_resolved(solver, g, resolved, req.measure_traffic,
                                       req.measure_ratio);
@@ -190,6 +311,9 @@ std::vector<Response> BatchExecutor::run_impl(
     diag->cache_hits = hits.load();
     diag->cache_misses = misses.load();
     diag->cache_evictions = evictions.load();
+    diag->incremental_solves = incr_solves.load();
+    diag->incremental_fallbacks = incr_fallbacks.load();
+    diag->incremental_dirty = incr_dirty.load();
   }
   return out;
 }

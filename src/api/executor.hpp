@@ -34,6 +34,7 @@
 
 #include "api/api.hpp"
 #include "api/cache.hpp"
+#include "api/graph_store.hpp"
 
 namespace lmds::api {
 
@@ -78,6 +79,14 @@ struct BatchDiagnostics {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  // Ball-granular incremental re-solve (patched-graph batches only; see the
+  // `lineages` span of run_batch). These count whole responses / vertices,
+  // not cache accesses: an incremental solve's parent and sub-solve lookups
+  // hit the executor's lifetime CacheStats but not cache_hits above, which
+  // stays "top-level key accesses" so existing dashboards keep their meaning.
+  std::uint64_t incremental_solves = 0;     ///< responses spliced from a parent's cached response
+  std::uint64_t incremental_fallbacks = 0;  ///< lineage present but a full re-solve was taken
+  std::uint64_t incremental_dirty = 0;      ///< vertices re-decided across incremental solves
 };
 
 /// Lifetime load counters of one BatchExecutor, readable while batches run —
@@ -126,11 +135,25 @@ class BatchExecutor {
   /// graph-store handle *is* its graph's hash, so handle solves skip the
   /// O(V+E) hash walk entirely); a 0 entry means "unknown, compute" — the
   /// one-in-2^64 graph whose real hash is 0 merely loses the skip.
+  ///
+  /// `lineages`, when non-empty, parallels `graphs`: entry i is graphs[i]'s
+  /// GraphStore::PatchLineage (nullptr for non-derived graphs). On a cache
+  /// miss for a derived graph whose solver declares a locality_radius, the
+  /// executor answers incrementally: it BFS-bounds the set of vertices whose
+  /// radius-r ball touches an edited edge, re-runs the solver only on the
+  /// induced support subgraph (memoized under a ball-signature cache
+  /// sub-key, so the entry survives edits outside its ball), and splices
+  /// those decisions into the parent's cached response. Falls back to a full
+  /// re-solve — bit-identical results either way — when the parent response
+  /// is not cached, the solver is not decomposable, the cache is
+  /// bypassed/disabled, or the request measures traffic or ratio.
   std::vector<Response> run_batch(std::string_view solver,
                                   std::span<const Graph* const> graphs, const Request& req,
                                   const BatchOverrides& over,
                                   BatchDiagnostics* diag = nullptr,
-                                  std::span<const std::uint64_t> graph_hashes = {});
+                                  std::span<const std::uint64_t> graph_hashes = {},
+                                  std::span<const std::shared_ptr<const PatchLineage>>
+                                      lineages = {});
 
   const BatchOptions& options() const { return opts_; }
   /// Lifetime counters of the executor's cache.
@@ -157,7 +180,9 @@ class BatchExecutor {
                                  const std::function<const Graph&(std::size_t)>& graph_at,
                                  std::size_t count, const Request& req,
                                  const BatchOverrides& over, BatchDiagnostics* diag,
-                                 std::span<const std::uint64_t> graph_hashes = {});
+                                 std::span<const std::uint64_t> graph_hashes = {},
+                                 std::span<const std::shared_ptr<const PatchLineage>>
+                                     lineages = {});
 
   BatchOptions opts_;
   const Registry& registry_;

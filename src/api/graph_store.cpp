@@ -33,13 +33,30 @@ std::optional<std::uint64_t> GraphStore::parse_handle(std::string_view handle) {
 }
 
 void GraphStore::evict_unpinned_locked() {
-  if (unpinned_.empty()) {
-    throw GraphStoreFull("graph store full: " + std::to_string(entries_.size()) +
-                         " graphs stored, all pinned (drop_graph frees capacity)");
+  // Least-recently-used first, but skip entries that are still the parent of
+  // a stored derived handle: evicting one would sever the child's lineage
+  // chain while the child stays resolvable (regression-tested in
+  // tests/test_patch.cpp).
+  for (auto lru = unpinned_.rbegin(); lru != unpinned_.rend(); ++lru) {
+    const auto it = entries_.find(*lru);
+    if (it->second.child_refs > 0) continue;
+    if (const auto& lin = it->second.lineage) {
+      // The evicted entry releases its own claim on its parent. A guard
+      // against 0 keeps a re-put parent (evicted and later re-inserted,
+      // never re-claimed) from going negative.
+      const auto parent_it = entries_.find(lin->parent_hash);
+      if (parent_it != entries_.end() && parent_it->second.child_refs > 0) {
+        --parent_it->second.child_refs;
+      }
+    }
+    entries_.erase(it);
+    unpinned_.erase(std::next(lru).base());
+    ++evictions_;
+    return;
   }
-  entries_.erase(unpinned_.back());
-  unpinned_.pop_back();
-  ++evictions_;
+  throw GraphStoreFull("graph store full: " + std::to_string(entries_.size()) +
+                       " graphs stored, all pinned or parents of derived handles "
+                       "(drop_graph frees capacity)");
 }
 
 GraphStore::PutResult GraphStore::put(graph::Graph g) {
@@ -66,6 +83,73 @@ GraphStore::PutResult GraphStore::put(graph::Graph g) {
   ++puts_;
   out.inserted = true;
   return out;
+}
+
+GraphStore::PatchResult GraphStore::patch(std::string_view handle, const graph::GraphPatch& p) {
+  const std::optional<std::uint64_t> parent_hash = parse_handle(handle);
+  std::shared_ptr<const graph::Graph> parent;
+  if (parent_hash) {
+    common::MutexLock lock(mu_);
+    if (const auto it = entries_.find(*parent_hash); it != entries_.end()) {
+      if (it->second.refs == 0) {
+        unpinned_.splice(unpinned_.begin(), unpinned_, it->second.lru_it);
+      }
+      parent = it->second.graph;
+    }
+  }
+  if (!parent) {
+    throw UnknownGraphHandle("unknown graph handle \"" + std::string(handle) + "\"");
+  }
+
+  // Apply + hash outside the lock — both are O(n + m). The parent graph is
+  // pinned by our shared_ptr even if it is concurrently dropped and evicted.
+  graph::PatchedGraph patched = graph::apply_patch(*parent, p);
+  const std::uint64_t child_hash = graph::graph_hash(patched.graph);
+
+  PatchResult out;
+  out.put.handle = handle_for(child_hash);
+  out.put.hash = child_hash;
+  out.put.vertices = patched.graph.num_vertices();
+  out.put.edges = patched.graph.num_edges();
+  out.parent = std::string(handle);
+
+  common::MutexLock lock(mu_);
+  if (const auto it = entries_.find(child_hash); it != entries_.end()) {
+    // Content-addressed reuse (includes the no-op patch, whose child is the
+    // parent itself): re-pin the existing entry, keep its original lineage.
+    if (it->second.refs == 0) unpinned_.erase(it->second.lru_it);
+    ++it->second.refs;
+    ++reuses_;
+    return out;
+  }
+  if (entries_.size() >= capacity_) evict_unpinned_locked();
+  auto lineage = std::make_shared<PatchLineage>();
+  lineage->parent = std::move(parent);
+  lineage->parent_hash = *parent_hash;
+  lineage->added = std::move(patched.added);
+  lineage->removed = std::move(patched.removed);
+  Entry entry;
+  entry.graph = std::make_shared<const graph::Graph>(std::move(patched.graph));
+  entry.refs = 1;
+  entry.lineage = std::move(lineage);
+  entries_.emplace(child_hash, std::move(entry));
+  // Eviction protection for the parent — if its entry still exists. (It may
+  // have been dropped and evicted while we hashed; the lineage's shared_ptr
+  // alone then keeps the parent graph alive.)
+  if (const auto parent_it = entries_.find(*parent_hash); parent_it != entries_.end()) {
+    ++parent_it->second.child_refs;
+  }
+  ++patches_;
+  out.put.inserted = true;
+  return out;
+}
+
+std::shared_ptr<const PatchLineage> GraphStore::lineage(std::string_view handle) const {
+  const std::optional<std::uint64_t> hash = parse_handle(handle);
+  if (!hash) return nullptr;
+  common::MutexLock lock(mu_);
+  const auto it = entries_.find(*hash);
+  return it == entries_.end() ? nullptr : it->second.lineage;
 }
 
 std::shared_ptr<const graph::Graph> GraphStore::get(std::string_view handle) {
@@ -104,6 +188,7 @@ GraphStoreStats GraphStore::stats() const {
   common::MutexLock lock(mu_);
   GraphStoreStats s;
   s.puts = puts_;
+  s.patches = patches_;
   s.reuses = reuses_;
   s.drops = drops_;
   s.evictions = evictions_;

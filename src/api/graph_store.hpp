@@ -33,9 +33,12 @@
 #include <string_view>
 #include <unordered_map>
 
+#include <vector>
+
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "graph/graph.hpp"
+#include "graph/ops.hpp"
 
 namespace lmds::api {
 
@@ -45,10 +48,29 @@ struct GraphStoreFull : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by GraphStore::patch when the parent handle resolves to nothing
+/// (never stored, dropped and evicted, or malformed).
+struct UnknownGraphHandle : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Provenance of a handle created by patch(): the parent graph (the
+/// shared_ptr keeps the parent's CSR alive independently of store eviction),
+/// its fingerprint, and the normalized edit lists (u < v, sorted). The
+/// executor's ball-granular incremental re-solve consumes this to bound
+/// which vertices an edit can have re-decided (api/executor.hpp).
+struct PatchLineage {
+  std::shared_ptr<const graph::Graph> parent;
+  std::uint64_t parent_hash = 0;
+  std::vector<graph::Edge> added;
+  std::vector<graph::Edge> removed;
+};
+
 /// Lifetime counters; `size`/`pinned` are instantaneous.
 struct GraphStoreStats {
   std::uint64_t puts = 0;       ///< put() calls that stored a new graph
-  std::uint64_t reuses = 0;     ///< put() calls answered by an existing entry
+  std::uint64_t reuses = 0;     ///< put()/patch() calls answered by an existing entry
+  std::uint64_t patches = 0;    ///< patch() calls that stored a new derived graph
   std::uint64_t drops = 0;      ///< successful drop() calls
   std::uint64_t evictions = 0;  ///< unpinned entries reclaimed by capacity
   std::size_t size = 0;         ///< graphs currently stored
@@ -84,6 +106,27 @@ class GraphStore {
   /// Undoes one put(). Returns false when the handle resolves to nothing.
   bool drop(std::string_view handle) LMDS_EXCLUDES(mu_);
 
+  struct PatchResult {
+    PutResult put;       ///< the child: same fields a put() would return
+    std::string parent;  ///< the (echoed) parent handle
+  };
+
+  /// Applies a batch of edge edits (graph::apply_patch) to a stored handle
+  /// and stores — or, content-addressed, re-pins — the resulting child
+  /// graph, recording a PatchLineage so solves against the child can be
+  /// answered incrementally from the parent's cached response. While a
+  /// derived entry is alive its parent entry is protected from capacity
+  /// eviction (child_refs), so the lineage chain stays resolvable. Throws
+  /// UnknownGraphHandle, std::invalid_argument (malformed edits —
+  /// apply_patch's rules) or GraphStoreFull.
+  PatchResult patch(std::string_view handle, const graph::GraphPatch& p) LMDS_EXCLUDES(mu_);
+
+  /// Lineage of a patched handle; nullptr for put() handles and handles
+  /// that resolve to nothing. The returned record is immutable and safe to
+  /// hold across a concurrent drop/evict of either entry.
+  std::shared_ptr<const PatchLineage> lineage(std::string_view handle) const
+      LMDS_EXCLUDES(mu_);
+
   GraphStoreStats stats() const LMDS_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
 
@@ -98,10 +141,17 @@ class GraphStore {
     int refs = 0;
     /// Valid iff refs == 0: position in unpinned_ (front = most recent).
     std::list<std::uint64_t>::iterator lru_it;
+    /// Set iff the entry was created by patch(); immutable afterwards.
+    std::shared_ptr<const PatchLineage> lineage;
+    /// Stored entries whose lineage names this entry as parent. While
+    /// nonzero the entry is skipped by capacity eviction even when
+    /// unpinned — evicting it would sever a live child's lineage chain.
+    int child_refs = 0;
   };
 
-  /// Frees the least-recently-used unpinned entry to make room for a new
-  /// one; throws GraphStoreFull when every entry is still pinned.
+  /// Frees the least-recently-used unpinned entry that no stored child
+  /// depends on; throws GraphStoreFull when every entry is pinned or
+  /// eviction-protected by a derived handle.
   void evict_unpinned_locked() LMDS_REQUIRES(mu_);
 
   const std::size_t capacity_;
@@ -110,6 +160,7 @@ class GraphStore {
   /// front = most recently released/used
   std::list<std::uint64_t> unpinned_ LMDS_GUARDED_BY(mu_);
   std::uint64_t puts_ LMDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t patches_ LMDS_GUARDED_BY(mu_) = 0;
   std::uint64_t reuses_ LMDS_GUARDED_BY(mu_) = 0;
   std::uint64_t drops_ LMDS_GUARDED_BY(mu_) = 0;
   std::uint64_t evictions_ LMDS_GUARDED_BY(mu_) = 0;

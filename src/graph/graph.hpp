@@ -21,6 +21,11 @@ using Vertex = std::int32_t;
 
 inline constexpr Vertex kNoVertex = -1;
 
+class Graph;
+struct GraphPatch;
+struct PatchedGraph;
+PatchedGraph apply_patch(const Graph& parent, const GraphPatch& patch);
+
 /// An undirected edge, stored with endpoints() in ascending order.
 struct Edge {
   Vertex u = kNoVertex;
@@ -86,6 +91,15 @@ class Graph {
   friend bool operator==(const Graph&, const Graph&) = default;
 
  private:
+  /// Trusted CSR constructor: offsets/neighbors must already satisfy every
+  /// class invariant (sorted, symmetric, loop-free). Only apply_patch
+  /// (ops.cpp) uses it, to splice unchanged adjacency spans from a parent
+  /// graph without re-validating them.
+  Graph(std::vector<std::size_t> offsets, std::vector<Vertex> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  friend PatchedGraph apply_patch(const Graph& parent, const GraphPatch& patch);
+
   std::vector<std::size_t> offsets_;  // size n+1
   std::vector<Vertex> neighbors_;     // size 2m, sorted per vertex
 };

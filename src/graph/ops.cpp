@@ -1,9 +1,11 @@
 #include "graph/ops.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <queue>
 #include <stdexcept>
+#include <string>
 
 #include "graph/bfs.hpp"
 #include "graph/builder.hpp"
@@ -14,6 +16,128 @@ std::vector<Vertex> Subgraph::lift(std::span<const Vertex> sub_vertices) const {
   std::vector<Vertex> result;
   result.reserve(sub_vertices.size());
   for (Vertex v : sub_vertices) result.push_back(to_parent[static_cast<std::size_t>(v)]);
+  return result;
+}
+
+namespace {
+
+// Normalizes one edit list: endpoint checks, u < v orientation, sort,
+// duplicate rejection. `what` names the list in error messages.
+std::vector<Edge> normalize_edits(const std::vector<Edge>& edits, const char* what) {
+  std::vector<Edge> result;
+  result.reserve(edits.size());
+  for (Edge e : edits) {
+    if (e.u < 0 || e.v < 0) {
+      throw std::invalid_argument(std::string("apply_patch: negative endpoint in \"") + what +
+                                  "\"");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("apply_patch: self-loop {" + std::to_string(e.u) + "," +
+                                  std::to_string(e.v) + "} in \"" + what + "\"");
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+    result.push_back(e);
+  }
+  std::sort(result.begin(), result.end());
+  const auto dup = std::adjacent_find(result.begin(), result.end());
+  if (dup != result.end()) {
+    throw std::invalid_argument("apply_patch: duplicate edge {" + std::to_string(dup->u) + "," +
+                                std::to_string(dup->v) + "} in \"" + what + "\"");
+  }
+  return result;
+}
+
+}  // namespace
+
+PatchedGraph apply_patch(const Graph& parent, const GraphPatch& patch) {
+  PatchedGraph result;
+  result.added = normalize_edits(patch.add, "add");
+  result.removed = normalize_edits(patch.del, "del");
+
+  std::vector<Edge> overlap;
+  std::set_intersection(result.added.begin(), result.added.end(), result.removed.begin(),
+                        result.removed.end(), std::back_inserter(overlap));
+  if (!overlap.empty()) {
+    throw std::invalid_argument("apply_patch: edge {" + std::to_string(overlap.front().u) + "," +
+                                std::to_string(overlap.front().v) +
+                                "} appears in both \"add\" and \"del\"");
+  }
+
+  const int parent_n = parent.num_vertices();
+  int n = parent_n;
+  for (const Edge& e : result.added) n = std::max(n, e.v + 1);
+  for (const Edge& e : result.removed) {
+    if (e.v >= parent_n || !parent.has_edge(e.u, e.v)) {
+      throw std::invalid_argument("apply_patch: deleted edge {" + std::to_string(e.u) + "," +
+                                  std::to_string(e.v) + "} is not in the parent graph");
+    }
+  }
+  for (const Edge& e : result.added) {
+    if (e.v < parent_n && parent.has_edge(e.u, e.v)) {
+      throw std::invalid_argument("apply_patch: added edge {" + std::to_string(e.u) + "," +
+                                  std::to_string(e.v) + "} is already present");
+    }
+  }
+  if (patch.n >= 0) {
+    if (patch.n < n) {
+      throw std::invalid_argument("apply_patch: \"n\"=" + std::to_string(patch.n) +
+                                  " is below the required vertex count " + std::to_string(n) +
+                                  " (patches never delete vertices)");
+    }
+    n = patch.n;
+  }
+
+  // Per-endpoint edit deltas; vertices absent from both maps keep their
+  // parent adjacency span byte-for-byte.
+  std::map<Vertex, std::vector<Vertex>> add_at;
+  std::map<Vertex, std::vector<Vertex>> del_at;
+  for (const Edge& e : result.added) {
+    add_at[e.u].push_back(e.v);
+    add_at[e.v].push_back(e.u);
+  }
+  for (const Edge& e : result.removed) {
+    del_at[e.u].push_back(e.v);
+    del_at[e.v].push_back(e.u);
+  }
+
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    std::size_t deg = v < parent_n ? static_cast<std::size_t>(parent.degree(v)) : 0;
+    if (const auto it = add_at.find(v); it != add_at.end()) deg += it->second.size();
+    if (const auto it = del_at.find(v); it != del_at.end()) deg -= it->second.size();
+    offsets[static_cast<std::size_t>(v) + 1] = offsets[static_cast<std::size_t>(v)] + deg;
+  }
+  std::vector<Vertex> neighbors(offsets.back());
+  for (Vertex v = 0; v < n; ++v) {
+    Vertex* out = neighbors.data() + offsets[static_cast<std::size_t>(v)];
+    const std::span<const Vertex> old =
+        v < parent_n ? parent.neighbors(v) : std::span<const Vertex>{};
+    const auto add_it = add_at.find(v);
+    const auto del_it = del_at.find(v);
+    if (add_it == add_at.end() && del_it == del_at.end()) {
+      out = std::copy(old.begin(), old.end(), out);
+      continue;
+    }
+    // Rebuild this one list: merge (old \ dels) with the sorted adds.
+    std::vector<Vertex>* adds = add_it != add_at.end() ? &add_it->second : nullptr;
+    if (adds) std::sort(adds->begin(), adds->end());
+    std::vector<char> drop;
+    if (del_it != del_at.end()) {
+      drop.assign(old.size(), 0);
+      for (Vertex w : del_it->second) {
+        const auto pos = std::lower_bound(old.begin(), old.end(), w);
+        drop[static_cast<std::size_t>(pos - old.begin())] = 1;
+      }
+    }
+    std::size_t ai = 0;
+    for (std::size_t i = 0; i < old.size(); ++i) {
+      if (!drop.empty() && drop[i]) continue;
+      while (adds && ai < adds->size() && (*adds)[ai] < old[i]) *out++ = (*adds)[ai++];
+      *out++ = old[i];
+    }
+    while (adds && ai < adds->size()) *out++ = (*adds)[ai++];
+  }
+  result.graph = Graph(std::move(offsets), std::move(neighbors));
   return result;
 }
 

@@ -11,6 +11,37 @@
 
 namespace lmds::graph {
 
+/// One batch of edge edits against a parent graph — the payload of the
+/// serving layer's patch_graph verb and the provenance record behind the
+/// executor's ball-granular incremental re-solve. Edges need not be
+/// normalized (u < v) or sorted; apply_patch normalizes.
+struct GraphPatch {
+  std::vector<Edge> add;  ///< edges to insert; must be absent from the parent
+  std::vector<Edge> del;  ///< edges to remove; must be present in the parent
+  /// Vertex count of the patched graph; -1 keeps the parent's count (grown
+  /// to cover any added endpoint). A patch may only grow the vertex set —
+  /// vertex deletion would renumber and break every stored handle mapping.
+  int n = -1;
+};
+
+/// The patched graph plus the normalized edit lists (u < v, sorted,
+/// duplicate-free) actually applied — GraphStore records these as the child
+/// handle's lineage so a later solve can bound the edit's radius-r impact.
+struct PatchedGraph {
+  Graph graph;
+  std::vector<Edge> added;
+  std::vector<Edge> removed;
+};
+
+/// Applies a batch of edge edits to `parent`. Unchanged adjacency spans are
+/// copied wholesale from the parent's CSR (no re-sort, no re-validation);
+/// only vertices incident to an edit get their lists rebuilt. Throws
+/// std::invalid_argument on any malformed edit: a self-loop or negative
+/// endpoint, a duplicate within add or del, an added edge already present,
+/// a deleted edge absent, an edge both added and deleted, or an explicit
+/// `n` smaller than the parent's vertex count / an added endpoint.
+PatchedGraph apply_patch(const Graph& parent, const GraphPatch& patch);
+
 /// An induced subgraph together with the mapping back to the parent graph.
 struct Subgraph {
   Graph graph;                     ///< the induced subgraph, vertices relabelled 0..k-1

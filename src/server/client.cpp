@@ -55,6 +55,15 @@ JsonValue ProtocolClient::drop_graph(const std::string& handle) {
   return exchange_line("{\"op\":\"drop_graph\",\"handle\":\"" + handle + "\"}");
 }
 
+JsonValue ProtocolClient::patch_graph(const std::string& handle,
+                                      const std::string& patch_members) {
+  if (http_) {
+    return exchange_http("POST", "/v2/graphs/" + handle + "/patch", "{" + patch_members + "}");
+  }
+  return exchange_line("{\"op\":\"patch_graph\",\"handle\":\"" + handle + "\"," +
+                       patch_members + "}");
+}
+
 void ProtocolClient::open_session() {
   if (http_ || ns_.empty()) return;
   std::string line = "{\"op\":\"open_session\",\"namespace\":";

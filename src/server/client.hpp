@@ -48,6 +48,13 @@ class ProtocolClient {
   JsonValue put_graph(const std::string& graph_json);
   JsonValue drop_graph(const std::string& handle);
 
+  /// patch_graph: derives a new handle from `handle` by a batch of edge
+  /// edits. `patch_members` are the edit fields as braceless JSON object
+  /// members (what encode_patch_members produces, e.g.
+  /// `"add":[[0,3]],"del":[],"n":8`). Over HTTP this is
+  /// POST /v2/graphs/<handle>/patch with `{patch_members}` as the body.
+  JsonValue patch_graph(const std::string& handle, const std::string& patch_members);
+
   /// Line protocol: the session-wide namespace selection. No-op over HTTP or
   /// with the default namespace; throws if the server refuses.
   void open_session();

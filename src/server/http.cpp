@@ -200,6 +200,30 @@ std::string handle_http_request(const HttpRequest& req, Session& session) {
       } catch (const JsonError&) {
         // an unparseable success body is a server-side bug class; stay 200
       }
+    } else if (req.target.starts_with("/v2/graphs/") && req.target.ends_with("/patch") &&
+               req.method == "POST") {
+      // POST /v2/graphs/<handle>/patch — the handle rides in the route (like
+      // DELETE), the body is the {"add":..,"del":..,"n":..} edit batch.
+      constexpr std::size_t kPrefix = sizeof("/v2/graphs/") - 1;
+      constexpr std::size_t kSuffix = sizeof("/patch") - 1;
+      std::string handle = req.target.substr(kPrefix, req.target.size() - kPrefix - kSuffix);
+      JsonValue body_value = parse_body(true);
+      if (body_value.type() != JsonValue::Type::Object) {
+        throw ProtocolError(ErrorCode::BadRequest, "patch body must be a JSON object");
+      }
+      JsonValue::Object root = body_value.as_object();
+      root.insert_or_assign("handle", JsonValue(std::move(handle)));
+      body = session.dispatch("patch_graph", JsonValue(std::move(root)));
+      // A newly derived graph is a created resource, same as a fresh upload.
+      try {
+        const JsonValue parsed = json_parse(body);
+        const JsonValue* inserted = parsed.find("new");
+        if (inserted && inserted->type() == JsonValue::Type::Bool && inserted->as_bool()) {
+          created_status = 201;
+        }
+      } catch (const JsonError&) {
+        // an unparseable success body is a server-side bug class; stay 200
+      }
     } else if (req.target.starts_with("/v2/graphs/") && req.method == "DELETE") {
       JsonValue::Object root;
       root.emplace("handle", JsonValue(req.target.substr(sizeof("/v2/graphs/") - 1)));

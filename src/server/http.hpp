@@ -6,6 +6,9 @@
 //
 //   PUT    /v2/graphs            body = {"n":..,"edges":[[u,v],...]}
 //                                -> put_graph      (201 on new, 200 on reuse)
+//   POST   /v2/graphs/<handle>/patch
+//                                body = {"add":..,"del":..,"n":..}
+//                                -> patch_graph    (201 on new, 200 on reuse)
 //   DELETE /v2/graphs/<handle>   -> drop_graph
 //   POST   /v2/solve             body = solve request without the "op" field
 //   GET    /v2/solvers           -> solvers

@@ -78,6 +78,48 @@ graph::Graph decode_graph(const JsonValue& v, const ServerLimits& limits) {
   return builder.build();
 }
 
+graph::GraphPatch decode_patch(const JsonValue& root, const ServerLimits& limits) {
+  graph::GraphPatch patch;
+  const auto decode_edits = [&](const char* field, std::vector<graph::Edge>& out_edges) {
+    const JsonValue* list = root.find(field);
+    if (!list) return false;
+    if (list->type() != JsonValue::Type::Array) {
+      bad_request("patch \"" + std::string(field) + "\" must be an array of [u, v] pairs");
+    }
+    for (const JsonValue& e : list->as_array()) {
+      if (e.type() != JsonValue::Type::Array || e.as_array().size() != 2) {
+        bad_request("each patch edge must be a [u, v] pair");
+      }
+      const int u = int_field(e.as_array()[0], "patch edge endpoint");
+      const int w = int_field(e.as_array()[1], "patch edge endpoint");
+      if (u < 0 || w < 0) bad_request("patch edge endpoints must be >= 0");
+      if (u == w) {
+        bad_request("patch self-loop at vertex " + std::to_string(u) + " in \"" +
+                    std::string(field) + "\"");
+      }
+      if (std::max(u, w) >= limits.max_graph_vertices) {
+        bad_request("patch too large: endpoint " + std::to_string(std::max(u, w)) +
+                    " exceeds limit " + std::to_string(limits.max_graph_vertices));
+      }
+      out_edges.push_back({std::min(u, w), std::max(u, w)});
+    }
+    return true;
+  };
+  bool any = decode_edits("add", patch.add);
+  any = decode_edits("del", patch.del) || any;
+  if (const JsonValue* n = root.find("n")) {
+    any = true;
+    patch.n = int_field(*n, "patch \"n\"");
+    if (patch.n < 0) bad_request("patch \"n\" must be >= 0");
+    if (patch.n > limits.max_graph_vertices) {
+      bad_request("patch too large: n=" + std::to_string(patch.n) + " exceeds limit " +
+                  std::to_string(limits.max_graph_vertices));
+    }
+  }
+  if (!any) bad_request("patch_graph needs at least one of \"add\", \"del\", \"n\"");
+  return patch;
+}
+
 std::string decode_namespace(const JsonValue& v, const ServerLimits& limits) {
   if (v.type() != JsonValue::Type::String) bad_request("\"namespace\" must be a string");
   const std::string& ns = v.as_string();
@@ -203,6 +245,25 @@ std::string encode_graph_json(const graph::Graph& g) {
   return out;
 }
 
+std::string encode_patch_members(const graph::GraphPatch& patch) {
+  const auto append_edges = [](std::string& out, const std::vector<graph::Edge>& edges) {
+    out += '[';
+    bool first = true;
+    for (const auto& [u, v] : edges) {
+      if (!first) out += ',';
+      first = false;
+      out += '[' + std::to_string(u) + ',' + std::to_string(v) + ']';
+    }
+    out += ']';
+  };
+  std::string out = "\"add\":";
+  append_edges(out, patch.add);
+  out += ",\"del\":";
+  append_edges(out, patch.del);
+  if (patch.n >= 0) out += ",\"n\":" + std::to_string(patch.n);
+  return out;
+}
+
 std::string encode_error(ErrorCode code, std::string_view message) {
   std::string out = "{\"ok\":false,\"code\":";
   json_append_string(out, to_string(code));
@@ -272,7 +333,15 @@ std::string encode_solve_result(std::span<const api::Response> responses,
          ",\"stolen_shards\":" + std::to_string(diag.stolen_shards) +
          ",\"cache_hits\":" + std::to_string(diag.cache_hits) +
          ",\"cache_misses\":" + std::to_string(diag.cache_misses) +
-         ",\"cache_evictions\":" + std::to_string(diag.cache_evictions) + "}}";
+         ",\"cache_evictions\":" + std::to_string(diag.cache_evictions);
+  if (diag.incremental_solves || diag.incremental_fallbacks) {
+    // Only for batches that actually carried lineage — keeps every pre-v2.1
+    // response line byte-identical.
+    out += ",\"incremental_solves\":" + std::to_string(diag.incremental_solves) +
+           ",\"incremental_fallbacks\":" + std::to_string(diag.incremental_fallbacks) +
+           ",\"incremental_dirty\":" + std::to_string(diag.incremental_dirty);
+  }
+  out += "}}";
   return out;
 }
 
@@ -347,6 +416,7 @@ std::string encode_stats(const api::CacheStats& cache,
          ",\"pinned\":" + std::to_string(store.pinned) +
          ",\"capacity\":" + std::to_string(store.capacity) +
          ",\"puts\":" + std::to_string(store.puts) +
+         ",\"patches\":" + std::to_string(store.patches) +
          ",\"reuses\":" + std::to_string(store.reuses) +
          ",\"drops\":" + std::to_string(store.drops) +
          ",\"evictions\":" + std::to_string(store.evictions) + "}";

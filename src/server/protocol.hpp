@@ -21,6 +21,21 @@
 //   {"op":"put_graph","graph":{"n":4,"edges":[[0,1]]}}   -> {"handle":...}
 //   {"op":"drop_graph","handle":"g00e1..."}
 //
+// Dynamic graphs (v2.1): a batch of edge edits against a stored handle
+// yields a new content-addressed handle (HTTP: POST /v2/graphs/<h>/patch
+// with the add/del/n object as the body):
+//   {"op":"patch_graph","handle":"g00e1...",
+//    "add":[[0,3],[2,5]],"del":[[0,1]],"n":8}    // all three optional,
+//                                                // at least one required
+//   -> {"ok":true,"op":"patch_graph","handle":"g7c2...","parent":"g00e1...",
+//       "n":8,"m":13,"new":true}                 // "new":false = the child
+//                                                // already existed (re-pin)
+// The child structurally shares unchanged adjacency with its parent and
+// records its lineage, so a solve against it with a LOCAL solver is answered
+// incrementally (ball-granular re-solve; see api/executor.hpp). The edits
+// must be consistent: no self-loops, no duplicates, added edges absent,
+// deleted edges present, n only grows — anything else is a bad_request.
+//
 // Session requests:
 //   {"op":"open_session","namespace":"tenant-a"}  select this connection's
 //                                                 default cache namespace
@@ -43,7 +58,9 @@
 //    "traffic":{..}?,"ratio":{..}?}, ...],
 //    "namespace":"tenant-a",   // only when non-default
 //    "diag":{"threads":..,"shards":..,"stolen_shards":..,"cache_hits":..,
-//            "cache_misses":..,"cache_evictions":..}}
+//            "cache_misses":..,"cache_evictions":..,
+//            "incremental_solves":..,"incremental_fallbacks":..,   // only when
+//            "incremental_dirty":..}}                              // nonzero
 //
 // This header is socket-free: parsing/encoding is pure string work, so
 // tests/test_server.cpp exercises the whole protocol without a network.
@@ -128,6 +145,21 @@ graph::Graph decode_graph(const JsonValue& v, const ServerLimits& limits);
 /// {"n":..,"edges":[[u,v],...]} object (serve_client, benches — one encoder,
 /// so clients cannot drift from the protocol).
 std::string encode_graph_json(const graph::Graph& g);
+
+/// Decodes the edit fields of a patch_graph request — "add"/"del" arrays of
+/// [u,v] pairs plus an optional "n" — against the same size limits
+/// decode_graph enforces. Shape problems (non-pair entries, negative or
+/// over-limit endpoints, self-loops, every field absent) throw
+/// ProtocolError(BadRequest) here; edit consistency against the actual
+/// parent graph (duplicates, absent deletes, already-present adds) is
+/// graph::apply_patch's job at execution time.
+graph::GraphPatch decode_patch(const JsonValue& root, const ServerLimits& limits);
+
+/// The client-side inverse of decode_patch: the edit fields as JSON object
+/// *members* without braces (`"add":[[0,3]],"del":[],"n":8`), so the line
+/// protocol can splice them next to "op"/"handle" and the HTTP front-end can
+/// wrap them as a POST body (server::ProtocolClient::patch_graph does both).
+std::string encode_patch_members(const graph::GraphPatch& patch);
 
 /// Decodes a parsed {"op":"solve",...} object. Validates the solver name
 /// against `registry` (UnknownSolver), every option value's JSON type

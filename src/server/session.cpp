@@ -61,6 +61,7 @@ std::string Session::dispatch(std::string_view verb, const JsonValue& root) {
   try {
     if (verb == "solve") return do_solve(root);
     if (verb == "put_graph") return do_put_graph(root);
+    if (verb == "patch_graph") return do_patch_graph(root);
     if (verb == "drop_graph") return do_drop_graph(root);
     if (verb == "open_session") return do_open_session(root);
     if (verb == "solvers") return encode_solvers(core_.registry());
@@ -92,6 +93,9 @@ std::string Session::do_solve(const JsonValue& root) {
   // executor a precomputed hash and skip the O(V+E) hash walk; inline
   // entries leave 0 = "compute".
   std::vector<std::uint64_t> hashes(req.graphs.size(), 0);
+  // Patched handles additionally hand over their lineage, unlocking the
+  // executor's ball-granular incremental re-solve (nullptr elsewhere).
+  std::vector<std::shared_ptr<const api::PatchLineage>> lineages(req.graphs.size());
   for (GraphRef& ref : req.graphs) {
     if (const auto* handle = std::get_if<std::string>(&ref)) {
       std::shared_ptr<const graph::Graph> g = core_.store().get(*handle);
@@ -101,6 +105,7 @@ std::string Session::do_solve(const JsonValue& root) {
                                 "\" (expired, dropped, or never put)");
       }
       hashes[ptrs.size()] = api::GraphStore::parse_handle(*handle).value_or(0);
+      lineages[ptrs.size()] = core_.store().lineage(*handle);
       ptrs.push_back(g.get());
       pinned.push_back(std::move(g));
     } else {
@@ -117,7 +122,8 @@ std::string Session::do_solve(const JsonValue& root) {
   try {
     responses = core_.executor().run_batch(req.solver, {ptrs.data(), ptrs.size()},
                                            req.request, req.overrides, &diag,
-                                           {hashes.data(), hashes.size()});
+                                           {hashes.data(), hashes.size()},
+                                           {lineages.data(), lineages.size()});
   } catch (const api::RequestError& e) {
     // Undeclared option, type mismatch, traffic on a centralized-only
     // solver — the request's fault, not the solver's.
@@ -155,6 +161,48 @@ std::string Session::do_put_graph(const JsonValue& root) {
   extra += ",\"n\":" + std::to_string(put.vertices) + ",\"m\":" + std::to_string(put.edges) +
            ",\"new\":" + (put.inserted ? std::string("true") : std::string("false"));
   return encode_ok("put_graph", extra);
+}
+
+std::string Session::do_patch_graph(const JsonValue& root) {
+  if (core_.store().capacity() == 0) {
+    // Same reasoning as put_graph: nothing could ever be patched, so this is
+    // a configuration fact, not a transient condition.
+    throw ProtocolError(ErrorCode::BadRequest,
+                        "patch_graph is disabled on this server (graph store capacity 0)");
+  }
+  const JsonValue* handle = root.find("handle");
+  if (!handle || handle->type() != JsonValue::Type::String) {
+    throw ProtocolError(ErrorCode::BadRequest, "patch_graph needs a string \"handle\" field");
+  }
+  if (!api::GraphStore::parse_handle(handle->as_string())) {
+    // Shape errors are the request's fault; only well-formed handles that
+    // resolve to nothing get the (retryable-after-put) unknown_handle code.
+    throw ProtocolError(ErrorCode::BadRequest,
+                        "\"" + handle->as_string() +
+                            "\" is not a graph handle (expected \"g\" + 16 hex digits)");
+  }
+  const graph::GraphPatch patch = decode_patch(root, core_.options().limits);
+  api::GraphStore::PatchResult result;
+  try {
+    result = core_.store().patch(handle->as_string(), patch);
+  } catch (const api::UnknownGraphHandle& e) {
+    throw ProtocolError(ErrorCode::UnknownHandle,
+                        std::string(e.what()) + " (expired, dropped, or never put)");
+  } catch (const api::GraphStoreFull& e) {
+    return encode_error(ErrorCode::ServerBusy, e.what());
+  } catch (const std::invalid_argument& e) {
+    // apply_patch's consistency validation against the actual parent:
+    // duplicate edits, deletes of absent edges, adds of present ones...
+    throw ProtocolError(ErrorCode::BadRequest, e.what());
+  }
+  std::string extra = "\"handle\":";
+  json_append_string(extra, result.put.handle);
+  extra += ",\"parent\":";
+  json_append_string(extra, result.parent);
+  extra += ",\"n\":" + std::to_string(result.put.vertices) +
+           ",\"m\":" + std::to_string(result.put.edges) +
+           ",\"new\":" + (result.put.inserted ? std::string("true") : std::string("false"));
+  return encode_ok("patch_graph", extra);
 }
 
 std::string Session::do_drop_graph(const JsonValue& root) {

@@ -121,6 +121,7 @@ class Session {
  private:
   std::string do_solve(const JsonValue& root);
   std::string do_put_graph(const JsonValue& root);
+  std::string do_patch_graph(const JsonValue& root);
   std::string do_drop_graph(const JsonValue& root);
   std::string do_open_session(const JsonValue& root);
   std::string do_stats();

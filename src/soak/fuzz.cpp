@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <iterator>
 #include <vector>
 
 namespace lmds::soak {
@@ -54,6 +55,7 @@ std::string_view to_string(MutationKind kind) {
     case MutationKind::OversizeGraph: return "oversize_graph";
     case MutationKind::BinaryGarbage: return "binary_garbage";
     case MutationKind::EmptyLine: return "empty_line";
+    case MutationKind::MalformedPatch: return "malformed_patch";
   }
   return "unknown";
 }
@@ -126,6 +128,36 @@ std::string mutate_line(const std::string& valid_line, MutationKind kind,
     case MutationKind::EmptyLine:
       out.clear();
       break;
+    case MutationKind::MalformedPatch: {
+      // Syntactically valid patch_graph lines, each violating exactly one
+      // invariant of the v2.1 edit contract — these must all come back as
+      // structured protocol errors, never crash the patch pipeline. The
+      // unknown-handle probes are spelled with handles no real store can
+      // contain (the store's counter starts far below these hashes).
+      static constexpr const char* kMalformed[] = {
+          // self-loop in add
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\",\"add\":[[3,3]]}",
+          // duplicate entry inside one list
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\",\"add\":[[0,1],[1,0]]}",
+          // same pair added and deleted
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\","
+          "\"add\":[[0,2]],\"del\":[[2,0]]}",
+          // well-formed handle that resolves to nothing
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\",\"add\":[[0,2]]}",
+          // handle with the wrong shape entirely
+          "{\"op\":\"patch_graph\",\"handle\":\"not-a-handle\",\"add\":[[0,2]]}",
+          // negative endpoint
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\",\"del\":[[-1,4]]}",
+          // no edit field at all
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\"}",
+          // shrinking n (it may only grow)
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\",\"n\":1,\"add\":[[0,2]]}",
+          // a non-pair edit entry
+          "{\"op\":\"patch_graph\",\"handle\":\"gdeadbeefdeadbeef\",\"add\":[[0,1,2]]}",
+      };
+      out = kMalformed[rng() % std::size(kMalformed)];
+      break;
+    }
   }
   strip_newlines(out);
   return out;

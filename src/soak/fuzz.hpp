@@ -29,9 +29,10 @@ enum class MutationKind {
   OversizeGraph,  ///< a syntactically valid solve whose graph busts limits
   BinaryGarbage,  ///< non-UTF-8 noise appended to a valid prefix
   EmptyLine,      ///< the degenerate ""
+  MalformedPatch, ///< a well-formed patch_graph that breaks an edit invariant
 };
 
-inline constexpr int kMutationKinds = 9;
+inline constexpr int kMutationKinds = 10;
 
 std::string_view to_string(MutationKind kind);
 

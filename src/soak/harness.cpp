@@ -12,6 +12,7 @@
 
 #include "api/api.hpp"
 #include "graph/io.hpp"
+#include "graph/ops.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
@@ -280,6 +281,61 @@ SoakReport run_soak(const SoakOptions& opts) {
           }
         }
       }
+      // Dynamic-graph arm (v2.1): patch each stored handle with a small
+      // deterministic edit batch and solve the derived child with the same
+      // arm — the oracle re-validates against the actually-patched graph.
+      // LOCAL solvers ride the incremental re-solve here; the rest must fall
+      // back to a full solve with identical output (tests/test_patch.cpp
+      // asserts the bit-identity, the soak asserts it never stops holding).
+      if (by_handle) {
+        for (std::size_t i = 0; i < handles.size(); ++i) {
+          const GraphCase& parent = batch[i];
+          const graph::GraphPatch patch = make_patch(
+              parent.graph, mix_seed(opts.seed, (base_index + i) ^ 0xED17ULL), /*edits=*/3);
+          if (patch.add.empty() && patch.del.empty()) continue;
+          const JsonValue patched =
+              client.patch_graph(handles[i], server::encode_patch_members(patch));
+          server::require_ok(patched, "patch_graph");
+          const std::string child = patched.find("handle")->as_string();
+
+          GraphCase child_case;
+          child_case.family = parent.family + "+patch";
+          child_case.graph = graph::apply_patch(parent.graph, patch).graph;
+          child_case.seed = parent.seed;
+          child_case.certified_t = 0;  // edits void the construction certificate
+
+          std::string child_members = "\"solver\":\"" + std::string(arm.solver) + "\"";
+          if (!arm.int_options.empty()) child_members += ",\"options\":" + arm.options_members();
+          if (!ns.empty()) child_members += ",\"namespace\":\"" + ns + "\"";
+          child_members += ",\"graphs\":[\"" + child + "\"]";
+          const JsonValue response = client.exchange("solve", child_members);
+          const JsonValue* ok = response.find("ok");
+          if (!ok || !ok->as_bool()) {
+            const JsonValue* err = response.find("error");
+            report.violations.push_back(dump_violation(
+                opts, arm, child_case, base_index + i,
+                "server rejected a patched-handle solve: " +
+                    (err ? err->as_string() : std::string("(no error field)"))));
+            ++results[a].violations;
+          } else {
+            std::vector<graph::Vertex> solution;
+            for (const JsonValue& v :
+                 response.find("responses")->as_array().at(0).find("solution")->as_array()) {
+              solution.push_back(static_cast<graph::Vertex>(v.as_int()));
+            }
+            const OracleVerdict verdict = check_response(child_case, arm.solver, arm.options(),
+                                                         arm.problem, solution);
+            if (!verdict.ok()) {
+              report.violations.push_back(
+                  dump_violation(opts, arm, child_case, base_index + i, verdict.reason));
+              ++results[a].violations;
+            }
+          }
+          if (child != handles[i]) {
+            server::require_ok(client.drop_graph(child), "drop_graph");
+          }
+        }
+      }
       for (const std::string& h : handles) server::require_ok(client.drop_graph(h), "drop_graph");
 
       const double quality = quality_sum / static_cast<double>(batch.size());
@@ -318,6 +374,8 @@ SoakReport run_soak(const SoakOptions& opts) {
         "{\"op\":\"solve\",\"solver\":\"theorem44\",\"namespace\":\"soak-a\",\"graphs\":[" +
             graph_json + "]}",
         "{\"op\":\"put_graph\",\"graph\":" + graph_json + "}",
+        "{\"op\":\"patch_graph\",\"handle\":\"g0123456789abcdef\","
+        "\"add\":[[0,2]],\"del\":[],\"n\":30}",
         "{\"op\":\"drop_graph\",\"handle\":\"g0123456789abcdef\"}",
         "{\"op\":\"stats\"}",
         "{\"op\":\"open_session\",\"namespace\":\"soak-b\"}",
@@ -390,7 +448,8 @@ SoakReport run_soak(const SoakOptions& opts) {
                      {"POST", "/v2/solve"},
                      {"GET", "/v2/nonexistent"},
                      {"BREW", "/v2/solve"},
-                     {"POST", "/v2/graphs/zzz"}};
+                     {"POST", "/v2/graphs/zzz"},
+                     {"POST", "/v2/graphs/g0123456789abcdef/patch"}};
       for (int i = 0; i < cases; ++i) {
         const auto kind = static_cast<MutationKind>(i % kMutationKinds);
         FuzzKindCounters& k = report.fuzz.kinds[std::string(to_string(kind))];

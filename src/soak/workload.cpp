@@ -1,5 +1,9 @@
 #include "soak/workload.hpp"
 
+#include <random>
+#include <set>
+#include <utility>
+
 #include "ding/generators.hpp"
 #include "graph/generators.hpp"
 
@@ -60,6 +64,28 @@ GraphCase make_case(std::uint64_t run_seed, std::uint64_t index) {
       break;
   }
   return c;
+}
+
+graph::GraphPatch make_patch(const graph::Graph& g, std::uint64_t seed, int edits) {
+  graph::GraphPatch p;
+  const int n = g.num_vertices();
+  if (n < 2) return p;
+  std::mt19937_64 rng(seed);
+  // One pool across adds and deletes keeps the batch consistent: a pair is
+  // picked at most once, so add∩del = ∅ and neither list repeats.
+  std::set<graph::Edge> chosen;
+  for (int e = 0; e < edits; ++e) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      auto u = static_cast<graph::Vertex>(rng() % static_cast<std::uint64_t>(n));
+      auto v = static_cast<graph::Vertex>(rng() % static_cast<std::uint64_t>(n));
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (!chosen.insert({u, v}).second) continue;
+      (g.has_edge(u, v) ? p.del : p.add).push_back({u, v});
+      break;
+    }
+  }
+  return p;
 }
 
 }  // namespace lmds::soak

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "graph/ops.hpp"
 
 namespace lmds::soak {
 
@@ -39,5 +40,12 @@ std::uint64_t mix_seed(std::uint64_t run_seed, std::uint64_t index);
 /// (tens of vertices) that the oracle's exact reference usually finishes, so
 /// ratio bounds are actually asserted rather than skipped.
 GraphCase make_case(std::uint64_t run_seed, std::uint64_t index);
+
+/// A deterministic edit batch against `g` for the patch_graph soak arm: up
+/// to `edits` edge toggles (an existing pick becomes a delete, an absent one
+/// an add), always consistent by construction — no duplicates, no
+/// add∩del, no self-loops — so the server must accept it. Pure function of
+/// (g, seed); may return fewer than `edits` edits (or none on tiny graphs).
+graph::GraphPatch make_patch(const graph::Graph& g, std::uint64_t seed, int edits);
 
 }  // namespace lmds::soak
