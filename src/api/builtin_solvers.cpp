@@ -108,8 +108,10 @@ void register_builtin_solvers(Registry& reg) {
        }()},
       [](const SolveContext& ctx) {
         const auto cfg = algorithm1_config(ctx);
-        auto result = ctx.local ? core::algorithm1_local(local::Network(ctx.graph), cfg)
-                                : core::algorithm1(ctx.graph, cfg);
+        auto result = ctx.local
+                          ? core::algorithm1_local(local::Network(ctx.graph), cfg,
+                                                   ctx.intra_threads)
+                          : core::algorithm1(ctx.graph, cfg);
         return from_algorithm1(std::move(result), ctx.local);
       });
 
@@ -122,7 +124,8 @@ void register_builtin_solvers(Registry& reg) {
       [](const SolveContext& ctx) {
         const auto cfg = algorithm1_config(ctx);
         auto result = ctx.local
-                          ? core::algorithm1_mvc_local(local::Network(ctx.graph), cfg)
+                          ? core::algorithm1_mvc_local(local::Network(ctx.graph), cfg,
+                                                       ctx.intra_threads)
                           : core::algorithm1_mvc(ctx.graph, cfg);
         SolverOutput out;
         out.solution = std::move(result.vertex_cover);
@@ -140,8 +143,10 @@ void register_builtin_solvers(Registry& reg) {
            // both tests read N[u] for u in N[v], i.e. ball(v, 2).
            .locality_radius = 2},
           [](const SolveContext& ctx) {
-            auto result = ctx.local ? core::theorem44_mds_local(local::Network(ctx.graph))
-                                    : core::theorem44_mds(ctx.graph);
+            auto result =
+                ctx.local
+                    ? core::theorem44_mds_local(local::Network(ctx.graph), ctx.intra_threads)
+                    : core::theorem44_mds(ctx.graph, ctx.intra_threads);
             return from_theorem44(std::move(result), ctx.local);
           });
 
@@ -154,8 +159,10 @@ void register_builtin_solvers(Registry& reg) {
            // which needs the neighbour's degree — ball(v, 2).
            .locality_radius = 2},
           [](const SolveContext& ctx) {
-            auto result = ctx.local ? core::theorem44_mvc_local(local::Network(ctx.graph))
-                                    : core::theorem44_mvc(ctx.graph);
+            auto result =
+                ctx.local
+                    ? core::theorem44_mvc_local(local::Network(ctx.graph), ctx.intra_threads)
+                    : core::theorem44_mvc(ctx.graph, ctx.intra_threads);
             return from_theorem44(std::move(result), ctx.local);
           });
 
@@ -193,7 +200,8 @@ void register_builtin_solvers(Registry& reg) {
            // tie-break compares candidate ids for order only.
            .locality_radius = 6},
           [](const SolveContext& ctx) {
-            return plain(core::ksv_style(ctx.graph, param(ctx, "k").as_int()), 4);
+            return plain(
+                core::ksv_style(ctx.graph, param(ctx, "k").as_int(), ctx.intra_threads), 4);
           });
 
   reg.add({.name = "take-all",
@@ -212,7 +220,9 @@ void register_builtin_solvers(Registry& reg) {
            // Same shape as theorem44-mvc's rule: the pendant fixup reads the
            // neighbour's degree — ball(v, 2).
            .locality_radius = 2},
-          [](const SolveContext& ctx) { return plain(core::tree_degree_rule(ctx.graph), 2); });
+          [](const SolveContext& ctx) {
+            return plain(core::tree_degree_rule(ctx.graph, ctx.intra_threads), 2);
+          });
 }
 
 }  // namespace lmds::api

@@ -65,6 +65,9 @@ std::vector<Response> BatchExecutor::run_impl(
   if (over.threads && *over.threads > 4096) {
     throw RequestError("threads override too large (max 4096)");
   }
+  if (over.intra_graph_threads && *over.intra_graph_threads > 4096) {
+    throw RequestError("intra_threads override too large (max 4096)");
+  }
   const std::size_t shard_size =
       static_cast<std::size_t>(over.shard_size.value_or(opts_.shard_size));
   const int shards = static_cast<int>((count + shard_size - 1) / shard_size);
@@ -72,6 +75,13 @@ std::vector<Response> BatchExecutor::run_impl(
   int workers = over.threads.value_or(opts_.threads);
   if (workers <= 0) workers = std::max(1u, std::thread::hardware_concurrency());
   workers = std::max(1, std::min(workers, shards));
+
+  // The second threading mode: shard each solve's own per-vertex work.
+  // Resolved here (not deep in the solver) so diagnostics can report the
+  // actual count; never folded into cache keys — responses are bit-identical
+  // for every value.
+  int intra_threads = over.intra_graph_threads.value_or(opts_.intra_graph_threads);
+  if (intra_threads <= 0) intra_threads = std::max(1u, std::thread::hardware_concurrency());
 
   const bool use_cache = cache_.enabled() && !over.bypass_cache;
 
@@ -200,7 +210,8 @@ std::vector<Response> BatchExecutor::run_impl(
         if (std::optional<Response> sub_hit = cache_.lookup(sub_key)) {
           sub = *std::move(sub_hit);
         } else {
-          sub = registry_.run_resolved(solver, support.graph, resolved, false, false);
+          sub = registry_.run_resolved(solver, support.graph, resolved, false, false,
+                                       intra_threads);
           cache_.insert(sub_key, sub);
         }
         in_sub.assign(static_cast<std::size_t>(support.graph.num_vertices()), 0);
@@ -251,7 +262,7 @@ std::vector<Response> BatchExecutor::run_impl(
         incr_fallbacks.fetch_add(1, std::memory_order_relaxed);
       }
       out[i] = registry_.run_resolved(solver, g, resolved, req.measure_traffic,
-                                      req.measure_ratio);
+                                      req.measure_ratio, intra_threads);
       // The miss is counted only now that the compute succeeded (a throwing
       // solve never reaches here), keeping hits + misses equal to completed
       // work; ResponseCache::insert counts its own lifetime miss the same way.
@@ -306,6 +317,7 @@ std::vector<Response> BatchExecutor::run_impl(
 
   if (diag) {
     diag->threads = workers;
+    diag->intra_threads = intra_threads;
     diag->shards = shards;
     diag->stolen_shards = stolen_total;
     diag->cache_hits = hits.load();

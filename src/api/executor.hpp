@@ -51,6 +51,12 @@ struct BatchOptions {
   int shard_size = 4;
   /// LRU response-cache capacity in entries; 0 disables caching.
   std::size_t cache_capacity = 0;
+  /// Worker count for sharding EACH solve's per-vertex work (the second
+  /// threading mode: intra-graph). 1 = sequential solves; <= 0 picks
+  /// hardware_concurrency. Responses are bit-identical for every value, so
+  /// this never enters cache keys — composes freely with `threads`
+  /// (cross-graph) and with caching.
+  int intra_graph_threads = 1;
 };
 
 /// Per-request deviations from the executor's configured BatchOptions — the
@@ -60,6 +66,9 @@ struct BatchOptions {
 struct BatchOverrides {
   std::optional<int> threads;     ///< worker parallelism for this batch only
   std::optional<int> shard_size;  ///< shard granularity for this batch only
+  /// Intra-graph worker count for this batch only (see
+  /// BatchOptions::intra_graph_threads). Never part of any cache key.
+  std::optional<int> intra_graph_threads;
   /// Compute every response fresh and leave the cache untouched (no lookups,
   /// no inserts) — for clients that must not observe or pollute shared state.
   bool bypass_cache = false;
@@ -74,6 +83,7 @@ struct BatchOverrides {
 /// BatchExecutor::cache_stats().
 struct BatchDiagnostics {
   int threads = 1;           ///< workers actually used
+  int intra_threads = 1;     ///< per-solve worker count (resolved; 1 = off)
   int shards = 0;            ///< shards the batch was cut into
   std::uint64_t stolen_shards = 0;  ///< shards drained from a sibling's queue
   std::uint64_t cache_hits = 0;

@@ -206,21 +206,22 @@ Response Registry::run(std::string_view name, const Request& req) const {
     throw RequestError("solver '" + entry->spec.name + "': request has no graph");
   }
   return run_entry(*entry, *req.graph, resolve_against(entry->spec, req),
-                   req.measure_traffic, req.measure_ratio);
+                   req.measure_traffic, req.measure_ratio, 1);
 }
 
 Response Registry::run_resolved(std::string_view name, const Graph& g,
                                 const Options& resolved, bool measure_traffic,
-                                bool measure_ratio) const {
+                                bool measure_ratio, int intra_threads) const {
   const Entry* entry = find_entry(name);
   if (!entry) throw RequestError("unknown solver '" + std::string(name) + "'");
-  return run_entry(*entry, g, resolved, measure_traffic, measure_ratio);
+  return run_entry(*entry, g, resolved, measure_traffic, measure_ratio, intra_threads);
 }
 
 Response Registry::run_entry(const Entry& entry, const Graph& g, const Options& params,
-                             bool measure_traffic, bool measure_ratio) const {
+                             bool measure_traffic, bool measure_ratio,
+                             int intra_threads) const {
   const SolverSpec& spec = entry.spec;
-  const SolveContext ctx{g, params, measure_traffic};
+  const SolveContext ctx{g, params, measure_traffic, intra_threads};
   SolverOutput out = entry.solve(ctx);
 
   Response res;

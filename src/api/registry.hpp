@@ -34,6 +34,11 @@ struct SolveContext {
   const Graph& graph;
   const Options& params;
   bool local = false;
+  /// Worker count for sharding THIS solve's per-vertex work (view gathers,
+  /// per-ball decisions). 1 = sequential; <= 0 picks hardware_concurrency.
+  /// Outputs are bit-identical for every value (slot-per-vertex merge), so
+  /// this never enters any cache key.
+  int intra_threads = 1;
 };
 
 /// What an adapter produces; the registry fills in the rest of Response
@@ -77,8 +82,12 @@ class Registry {
   /// resolve_options() returned for this solver (every declared parameter
   /// present with its declared type) — it is trusted, not re-validated, so
   /// per-graph cost is one name lookup plus the solve itself.
+  /// `intra_threads` shards the single solve's per-vertex work (see
+  /// SolveContext::intra_threads); the response is bit-identical for every
+  /// value.
   Response run_resolved(std::string_view name, const Graph& g, const Options& resolved,
-                        bool measure_traffic, bool measure_ratio) const;
+                        bool measure_traffic, bool measure_ratio,
+                        int intra_threads = 1) const;
 
   /// Validates `req` against `name`'s spec and returns the fully-resolved
   /// parameter map: every declared parameter present (request value or spec
@@ -112,7 +121,7 @@ class Registry {
 
   const Entry* find_entry(std::string_view name) const;
   Response run_entry(const Entry& entry, const Graph& g, const Options& params,
-                     bool measure_traffic, bool measure_ratio) const;
+                     bool measure_traffic, bool measure_ratio, int intra_threads) const;
 };
 
 }  // namespace lmds::api

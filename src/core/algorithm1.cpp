@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "cuts/interesting.hpp"
 #include "cuts/local_cuts.hpp"
 #include "graph/bfs.hpp"
@@ -137,7 +138,8 @@ Algorithm1Result algorithm1(const Graph& g, const Algorithm1Config& cfg) {
   return run_pipeline(g, cfg, nullptr, nullptr);
 }
 
-Algorithm1Result algorithm1_local(const local::Network& net, const Algorithm1Config& cfg) {
+Algorithm1Result algorithm1_local(const local::Network& net, const Algorithm1Config& cfg,
+                                  int threads) {
   const int r1 = cfg.effective_radius1();
   const int r2 = cfg.effective_radius2();
 
@@ -167,18 +169,29 @@ Algorithm1Result algorithm1_local(const local::Network& net, const Algorithm1Con
   view_radius = std::min(view_radius, diam_cap);
 
   local::TrafficStats traffic;
-  const auto views = local::gather_views(reduced_net, view_radius, &traffic);
+  const auto views = local::gather_views(reduced_net, view_radius, &traffic, threads);
 
+  // Per-vertex cut classification into slot arrays; the ordered collect
+  // below keeps X and I bit-identical for any thread count.
+  const int rn = g->num_vertices();
+  std::vector<char> is_one_cut(static_cast<std::size_t>(rn), 0);
+  std::vector<char> is_interesting_v(static_cast<std::size_t>(rn), 0);
+  common::parallel_for(rn, threads, [&](int begin, int end) {
+    for (Vertex v = begin; v < end; ++v) {
+      const local::BallView& view = views[static_cast<std::size_t>(v)];
+      if (cuts::is_local_one_cut(view.graph, view.centre, std::min(r1, view_radius))) {
+        is_one_cut[static_cast<std::size_t>(v)] = 1;
+      }
+      if (cuts::is_interesting(view.graph, view.centre, std::min(r2, view_radius))) {
+        is_interesting_v[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  });
   std::vector<Vertex> one_cuts;
   std::vector<Vertex> interesting;
-  for (Vertex v = 0; v < g->num_vertices(); ++v) {
-    const local::BallView& view = views[static_cast<std::size_t>(v)];
-    if (cuts::is_local_one_cut(view.graph, view.centre, std::min(r1, view_radius))) {
-      one_cuts.push_back(v);
-    }
-    if (cuts::is_interesting(view.graph, view.centre, std::min(r2, view_radius))) {
-      interesting.push_back(v);
-    }
+  for (Vertex v = 0; v < rn; ++v) {
+    if (is_one_cut[static_cast<std::size_t>(v)]) one_cuts.push_back(v);
+    if (is_interesting_v[static_cast<std::size_t>(v)]) interesting.push_back(v);
   }
 
   Algorithm1Config local_cfg = cfg;

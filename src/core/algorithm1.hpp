@@ -71,7 +71,11 @@ Algorithm1Result algorithm1(const Graph& g, const Algorithm1Config& cfg);
 
 /// LOCAL execution: per-node decisions for steps 1-2 are evaluated on
 /// message-passing views; step 3 is solved per residual component with
-/// leader-based round accounting.
-Algorithm1Result algorithm1_local(const local::Network& net, const Algorithm1Config& cfg);
+/// leader-based round accounting. `threads` shards the per-node view
+/// extraction and cut classification (<= 0 picks hardware_concurrency);
+/// output is bit-identical for any thread count. The centralized step-3
+/// pipeline stays sequential (see ARCHITECTURE.md, hot path).
+Algorithm1Result algorithm1_local(const local::Network& net, const Algorithm1Config& cfg,
+                                  int threads = 1);
 
 }  // namespace lmds::core

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "graph/bfs.hpp"
+#include "graph/graph.hpp"
 #include "solve/exact_mds.hpp"
 
 namespace lmds::core {
@@ -14,22 +16,25 @@ std::vector<Vertex> take_all(const Graph& g) {
   return all;
 }
 
-std::vector<Vertex> tree_degree_rule(const Graph& g) {
+std::vector<Vertex> tree_degree_rule(const Graph& g, int threads) {
+  const int n = g.num_vertices();
+  std::vector<char> joins(static_cast<std::size_t>(n), 0);
+  common::parallel_for(n, threads, [&](int begin, int end) {
+    for (Vertex v = begin; v < end; ++v) {
+      const int deg = g.degree(v);
+      if (deg >= 2 || deg == 0) {
+        joins[static_cast<std::size_t>(v)] = 1;
+        continue;
+      }
+      // Pendant: joins only when its single neighbour is also pendant (a K2
+      // component) and v carries the smaller id.
+      const Vertex u = g.neighbors(v)[0];
+      if (g.degree(u) == 1 && v < u) joins[static_cast<std::size_t>(v)] = 1;
+    }
+  });
   std::vector<Vertex> result;
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    const int deg = g.degree(v);
-    if (deg >= 2) {
-      result.push_back(v);
-      continue;
-    }
-    if (deg == 0) {
-      result.push_back(v);
-      continue;
-    }
-    // Pendant: joins only when its single neighbour is also pendant (a K2
-    // component) and v carries the smaller id.
-    const Vertex u = g.neighbors(v)[0];
-    if (g.degree(u) == 1 && v < u) result.push_back(v);
+  for (Vertex v = 0; v < n; ++v) {
+    if (joins[static_cast<std::size_t>(v)]) result.push_back(v);
   }
   return result;
 }
@@ -53,11 +58,19 @@ int gamma(const Graph& g, Vertex v, int cap) {
   }
 }
 
-std::vector<Vertex> ksv_style(const Graph& g, int k) {
+std::vector<Vertex> ksv_style(const Graph& g, int k, int threads) {
   const int n = g.num_vertices();
+  // gamma dominates the runtime (a tiny set-cover per vertex), and each call
+  // touches only its own ball — shard it into a slot array.
+  std::vector<char> in_x(static_cast<std::size_t>(n), 0);
+  common::parallel_for(n, threads, [&](int begin, int end) {
+    for (Vertex v = begin; v < end; ++v) {
+      if (gamma(g, v, k) > k) in_x[static_cast<std::size_t>(v)] = 1;
+    }
+  });
   std::vector<Vertex> x;
   for (Vertex v = 0; v < n; ++v) {
-    if (gamma(g, v, k) > k) x.push_back(v);
+    if (in_x[static_cast<std::size_t>(v)]) x.push_back(v);
   }
 
   std::vector<char> dominated(static_cast<std::size_t>(n), 0);
@@ -68,23 +81,32 @@ std::vector<Vertex> ksv_style(const Graph& g, int k) {
 
   // Cleanup phase: every undominated vertex nominates the member of its
   // closed neighbourhood covering the most undominated vertices (ties to the
-  // smaller id) — one more round in the model.
+  // smaller id) — one more round in the model. Each nominee is computed into
+  // the nominator's own slot (reads of `dominated` only), then marked
+  // sequentially: no write races, same set for any thread count.
+  std::vector<Vertex> nominee(static_cast<std::size_t>(n), graph::kNoVertex);
+  common::parallel_for(n, threads, [&](int begin, int end) {
+    for (Vertex v = begin; v < end; ++v) {
+      if (dominated[static_cast<std::size_t>(v)]) continue;
+      Vertex best = v;
+      int best_cover = -1;
+      for (Vertex c : g.closed_neighborhood(v)) {
+        int cover = dominated[static_cast<std::size_t>(c)] ? 0 : 1;
+        for (Vertex w : g.neighbors(c)) {
+          if (!dominated[static_cast<std::size_t>(w)]) ++cover;
+        }
+        if (cover > best_cover || (cover == best_cover && c < best)) {
+          best_cover = cover;
+          best = c;
+        }
+      }
+      nominee[static_cast<std::size_t>(v)] = best;
+    }
+  });
   std::vector<char> nominated(static_cast<std::size_t>(n), 0);
   for (Vertex v = 0; v < n; ++v) {
-    if (dominated[static_cast<std::size_t>(v)]) continue;
-    Vertex best = v;
-    int best_cover = -1;
-    for (Vertex c : g.closed_neighborhood(v)) {
-      int cover = dominated[static_cast<std::size_t>(c)] ? 0 : 1;
-      for (Vertex w : g.neighbors(c)) {
-        if (!dominated[static_cast<std::size_t>(w)]) ++cover;
-      }
-      if (cover > best_cover || (cover == best_cover && c < best)) {
-        best_cover = cover;
-        best = c;
-      }
-    }
-    nominated[static_cast<std::size_t>(best)] = 1;
+    const Vertex b = nominee[static_cast<std::size_t>(v)];
+    if (b != graph::kNoVertex) nominated[static_cast<std::size_t>(b)] = 1;
   }
 
   std::vector<Vertex> result = x;

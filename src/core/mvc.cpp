@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
 #include "cuts/local_cuts.hpp"
 #include "graph/bfs.hpp"
 #include "graph/ops.hpp"
@@ -76,7 +77,7 @@ MvcAlgorithm1Result algorithm1_mvc(const Graph& g, const Algorithm1Config& cfg) 
 }
 
 MvcAlgorithm1Result algorithm1_mvc_local(const local::Network& net,
-                                         const Algorithm1Config& cfg) {
+                                         const Algorithm1Config& cfg, int threads) {
   const Graph& g = net.topology();
   const int r1 = cfg.effective_radius1();
   const int r2 = cfg.effective_radius2();
@@ -84,24 +85,35 @@ MvcAlgorithm1Result algorithm1_mvc_local(const local::Network& net,
   view_radius = std::min(view_radius, g.num_vertices());
 
   local::TrafficStats traffic;
-  const auto views = local::gather_views(net, view_radius, &traffic);
+  const auto views = local::gather_views(net, view_radius, &traffic, threads);
 
-  std::vector<Vertex> one_cuts;
-  std::vector<Vertex> two_cut_vertices;
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    const local::BallView& view = views[static_cast<std::size_t>(v)];
-    if (cuts::is_local_one_cut(view.graph, view.centre, std::min(r1, view_radius))) {
-      one_cuts.push_back(v);
-    }
-    // "v is in some r2-local minimal 2-cut": scan partners inside the view.
-    const int r2_eff = std::min(r2, view_radius);
-    for (Vertex u : graph::ball(view.graph, view.centre, r2_eff)) {
-      if (u == view.centre) continue;
-      if (cuts::is_local_two_cut(view.graph, view.centre, u, r2_eff)) {
-        two_cut_vertices.push_back(v);
-        break;
+  // Per-vertex cut classification into slot arrays; ordered collect keeps
+  // the cut lists bit-identical for any thread count.
+  const int n = g.num_vertices();
+  std::vector<char> is_one_cut(static_cast<std::size_t>(n), 0);
+  std::vector<char> in_two_cut(static_cast<std::size_t>(n), 0);
+  common::parallel_for(n, threads, [&](int begin, int end) {
+    for (Vertex v = begin; v < end; ++v) {
+      const local::BallView& view = views[static_cast<std::size_t>(v)];
+      if (cuts::is_local_one_cut(view.graph, view.centre, std::min(r1, view_radius))) {
+        is_one_cut[static_cast<std::size_t>(v)] = 1;
+      }
+      // "v is in some r2-local minimal 2-cut": scan partners inside the view.
+      const int r2_eff = std::min(r2, view_radius);
+      for (Vertex u : graph::ball(view.graph, view.centre, r2_eff)) {
+        if (u == view.centre) continue;
+        if (cuts::is_local_two_cut(view.graph, view.centre, u, r2_eff)) {
+          in_two_cut[static_cast<std::size_t>(v)] = 1;
+          break;
+        }
       }
     }
+  });
+  std::vector<Vertex> one_cuts;
+  std::vector<Vertex> two_cut_vertices;
+  for (Vertex v = 0; v < n; ++v) {
+    if (is_one_cut[static_cast<std::size_t>(v)]) one_cuts.push_back(v);
+    if (in_two_cut[static_cast<std::size_t>(v)]) two_cut_vertices.push_back(v);
   }
 
   MvcAlgorithm1Result result =

@@ -39,6 +39,6 @@ MvcAlgorithm1Result algorithm1_mvc(const Graph& g, const Algorithm1Config& cfg);
 /// are solved per component with leader-based round accounting. Produces
 /// the same cover as the centralized path (tested).
 MvcAlgorithm1Result algorithm1_mvc_local(const local::Network& net,
-                                         const Algorithm1Config& cfg);
+                                         const Algorithm1Config& cfg, int threads = 1);
 
 }  // namespace lmds::core

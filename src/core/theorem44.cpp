@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
 #include "core/constants.hpp"
 
 namespace lmds::core {
@@ -44,6 +45,25 @@ std::vector<local::NodeId> identity_ids(int n) {
   return ids;
 }
 
+// Evaluates a pure per-vertex rule across all vertices, sharded over
+// `threads` workers into a slot array; collection in vertex order keeps the
+// output bit-identical for any thread count.
+template <typename Rule>
+std::vector<Vertex> apply_rule(const Graph& g, int threads, const Rule& rule) {
+  const int n = g.num_vertices();
+  std::vector<char> joins(static_cast<std::size_t>(n), 0);
+  common::parallel_for(n, threads, [&](int begin, int end) {
+    for (Vertex v = begin; v < end; ++v) {
+      joins[static_cast<std::size_t>(v)] = rule(v) ? 1 : 0;
+    }
+  });
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < n; ++v) {
+    if (joins[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
 }  // namespace
 
 bool theorem44_mds_decision(const local::BallView& view) {
@@ -54,37 +74,33 @@ bool theorem44_mvc_decision(const local::BallView& view) {
   return mvc_rule(view.graph, view.centre, view.ids);
 }
 
-Theorem44Result theorem44_mds(const Graph& g) {
+Theorem44Result theorem44_mds(const Graph& g, int threads) {
   Theorem44Result result;
   const auto ids = identity_ids(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (mds_rule(g, v, ids)) result.solution.push_back(v);
-  }
+  result.solution = apply_rule(g, threads, [&](Vertex v) { return mds_rule(g, v, ids); });
   result.traffic.rounds = PaperConstants::kTheorem44Rounds;
   return result;
 }
 
-Theorem44Result theorem44_mds_local(const local::Network& net) {
+Theorem44Result theorem44_mds_local(const local::Network& net, int threads) {
   Theorem44Result result;
-  const auto run = local::run_ball_algorithm(net, 2, theorem44_mds_decision);
+  const auto run = local::run_ball_algorithm(net, 2, theorem44_mds_decision, threads);
   result.solution = run.selected;
   result.traffic = run.traffic;
   return result;
 }
 
-Theorem44Result theorem44_mvc(const Graph& g) {
+Theorem44Result theorem44_mvc(const Graph& g, int threads) {
   Theorem44Result result;
   const auto ids = identity_ids(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (mvc_rule(g, v, ids)) result.solution.push_back(v);
-  }
+  result.solution = apply_rule(g, threads, [&](Vertex v) { return mvc_rule(g, v, ids); });
   result.traffic.rounds = PaperConstants::kTheorem44Rounds;
   return result;
 }
 
-Theorem44Result theorem44_mvc_local(const local::Network& net) {
+Theorem44Result theorem44_mvc_local(const local::Network& net, int threads) {
   Theorem44Result result;
-  const auto run = local::run_ball_algorithm(net, 2, theorem44_mvc_decision);
+  const auto run = local::run_ball_algorithm(net, 2, theorem44_mvc_decision, threads);
   result.solution = run.selected;
   result.traffic = run.traffic;
   return result;

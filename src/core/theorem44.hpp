@@ -30,21 +30,23 @@ struct Theorem44Result {
 };
 
 /// Centralized evaluation of the 3-round MDS rule (identical output to the
-/// LOCAL execution; see theorem44_mds_local).
-Theorem44Result theorem44_mds(const Graph& g);
+/// LOCAL execution; see theorem44_mds_local). `threads` shards the
+/// per-vertex rule across a fork-join pool (<= 0 picks
+/// hardware_concurrency); the output is bit-identical for any thread count.
+Theorem44Result theorem44_mds(const Graph& g, int threads = 1);
 
 /// LOCAL execution through the message-passing simulator.
-Theorem44Result theorem44_mds_local(const local::Network& net);
+Theorem44Result theorem44_mds_local(const local::Network& net, int threads = 1);
 
 /// The per-node decision as a pure view function (exposed for tests and for
 /// composing with other runners). Expects a radius-2 view.
 bool theorem44_mds_decision(const local::BallView& view);
 
 /// Centralized evaluation of the 3-round MVC rule.
-Theorem44Result theorem44_mvc(const Graph& g);
+Theorem44Result theorem44_mvc(const Graph& g, int threads = 1);
 
 /// LOCAL execution of the MVC rule.
-Theorem44Result theorem44_mvc_local(const local::Network& net);
+Theorem44Result theorem44_mvc_local(const local::Network& net, int threads = 1);
 
 /// Per-node decision of the MVC rule (radius-2 view; degree tests of
 /// neighbours need distance-2 edges).

@@ -1,7 +1,6 @@
 #include "graph/bfs.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
 namespace lmds::graph {
@@ -11,35 +10,80 @@ namespace {
 // Shared BFS kernel: distances from all sources, optional radius cap
 // (radius < 0 means unbounded), optional vertex mask (mask[v] == false means
 // v is treated as deleted; mask may be empty meaning "all alive").
+// Level-synchronous frontier vectors instead of a std::queue: no per-push
+// heap traffic, and each level is a contiguous scan. Distances are identical
+// to the queue version — BFS levels do not depend on intra-level order.
 std::vector<int> bfs_kernel(const Graph& g, std::span<const Vertex> sources, int radius,
                             std::span<const char> mask) {
   std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
-  std::queue<Vertex> queue;
+  std::vector<Vertex> current;
+  std::vector<Vertex> next;
   for (Vertex s : sources) {
     if (!g.has_vertex(s)) throw std::invalid_argument("bfs: source out of range");
     if (!mask.empty() && !mask[static_cast<std::size_t>(s)]) continue;
     if (dist[static_cast<std::size_t>(s)] == -1) {
       dist[static_cast<std::size_t>(s)] = 0;
-      queue.push(s);
+      current.push_back(s);
     }
   }
-  while (!queue.empty()) {
-    const Vertex u = queue.front();
-    queue.pop();
-    const int du = dist[static_cast<std::size_t>(u)];
-    if (radius >= 0 && du >= radius) continue;
-    for (Vertex w : g.neighbors(u)) {
-      if (!mask.empty() && !mask[static_cast<std::size_t>(w)]) continue;
-      if (dist[static_cast<std::size_t>(w)] == -1) {
-        dist[static_cast<std::size_t>(w)] = du + 1;
-        queue.push(w);
+  for (int d = 0; !current.empty() && (radius < 0 || d < radius); ++d) {
+    next.clear();
+    for (Vertex u : current) {
+      for (Vertex w : g.neighbors(u)) {
+        if (!mask.empty() && !mask[static_cast<std::size_t>(w)]) continue;
+        if (dist[static_cast<std::size_t>(w)] == -1) {
+          dist[static_cast<std::size_t>(w)] = d + 1;
+          next.push_back(w);
+        }
       }
     }
+    std::swap(current, next);
   }
   return dist;
 }
 
+// Radius-capped multi-source traversal into the caller's scratch; the shared
+// engine of ball_into / ball_of_set_into. Sources must be valid vertices.
+void ball_kernel_into(const Graph& g, std::span<const Vertex> sources, int r,
+                      BfsScratch& scratch, std::vector<Vertex>& out) {
+  scratch.begin(g.num_vertices());
+  std::vector<Vertex>& current = scratch.current();
+  std::vector<Vertex>& next = scratch.next();
+  for (Vertex s : sources) {
+    if (!g.has_vertex(s)) throw std::invalid_argument("bfs: source out of range");
+    if (!scratch.seen(s)) {
+      scratch.mark(s, 0);
+      current.push_back(s);
+    }
+  }
+  // r < 0 means unbounded, matching the distance kernel's convention.
+  for (int d = 0; !current.empty() && (r < 0 || d < r); ++d) {
+    next.clear();
+    for (Vertex u : current) {
+      for (Vertex w : g.neighbors(u)) {
+        if (!scratch.seen(w)) {
+          scratch.mark(w, d + 1);
+          next.push_back(w);
+        }
+      }
+    }
+    std::swap(current, next);
+  }
+  out.assign(scratch.visited().begin(), scratch.visited().end());
+  std::sort(out.begin(), out.end());
+}
+
 }  // namespace
+
+void ball_into(const Graph& g, Vertex v, int r, BfsScratch& scratch, std::vector<Vertex>& out) {
+  const Vertex sources[] = {v};
+  ball_kernel_into(g, sources, r, scratch, out);
+}
+
+void ball_of_set_into(const Graph& g, std::span<const Vertex> sources, int r,
+                      BfsScratch& scratch, std::vector<Vertex>& out) {
+  ball_kernel_into(g, sources, r, scratch, out);
+}
 
 std::vector<int> bfs_distances(const Graph& g, Vertex src) {
   const Vertex sources[] = {src};
@@ -56,12 +100,12 @@ std::vector<Vertex> ball(const Graph& g, Vertex v, int r) {
 }
 
 std::vector<Vertex> ball_of_set(const Graph& g, std::span<const Vertex> sources, int r) {
-  const auto dist = bfs_kernel(g, sources, r, {});
-  std::vector<Vertex> result;
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (dist[static_cast<std::size_t>(v)] >= 0) result.push_back(v);
-  }
-  return result;
+  // Visit-list collection instead of the old all-vertices distance scan: the
+  // cost is proportional to the ball, not to n. Output stays sorted.
+  BfsScratch scratch;
+  std::vector<Vertex> out;
+  ball_kernel_into(g, sources, r, scratch, out);
+  return out;
 }
 
 std::vector<std::vector<Vertex>> Components::groups() const {
@@ -76,30 +120,39 @@ std::vector<std::vector<Vertex>> Components::groups() const {
 Components connected_components(const Graph& g) { return components_without(g, {}); }
 
 Components components_without(const Graph& g, std::span<const Vertex> removed) {
-  std::vector<char> alive(static_cast<std::size_t>(g.num_vertices()), 1);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  // Alive mask as bitset words: the mask fits in cache even for 100k-vertex
+  // graphs, so the inner-loop membership test stays one shift+and.
+  std::vector<std::uint64_t> alive((n + 63) / 64, ~std::uint64_t{0});
   for (Vertex v : removed) {
     if (!g.has_vertex(v)) throw std::invalid_argument("components_without: vertex out of range");
-    alive[static_cast<std::size_t>(v)] = 0;
+    alive[static_cast<std::size_t>(v) / 64] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(v) % 64));
   }
+  const auto is_alive = [&](Vertex v) {
+    return (alive[static_cast<std::size_t>(v) / 64] >> (static_cast<std::size_t>(v) % 64)) & 1;
+  };
   Components result;
-  result.component.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  result.component.assign(n, -1);
+  std::vector<Vertex> current;
+  std::vector<Vertex> next;
   for (Vertex s = 0; s < g.num_vertices(); ++s) {
-    if (!alive[static_cast<std::size_t>(s)] || result.component[static_cast<std::size_t>(s)] != -1)
-      continue;
+    if (!is_alive(s) || result.component[static_cast<std::size_t>(s)] != -1) continue;
     const int id = result.count++;
-    std::queue<Vertex> queue;
-    queue.push(s);
     result.component[static_cast<std::size_t>(s)] = id;
-    while (!queue.empty()) {
-      const Vertex u = queue.front();
-      queue.pop();
-      for (Vertex w : g.neighbors(u)) {
-        if (!alive[static_cast<std::size_t>(w)]) continue;
-        if (result.component[static_cast<std::size_t>(w)] == -1) {
-          result.component[static_cast<std::size_t>(w)] = id;
-          queue.push(w);
+    current.assign(1, s);
+    while (!current.empty()) {
+      next.clear();
+      for (Vertex u : current) {
+        for (Vertex w : g.neighbors(u)) {
+          if (!is_alive(w)) continue;
+          if (result.component[static_cast<std::size_t>(w)] == -1) {
+            result.component[static_cast<std::size_t>(w)] = id;
+            next.push_back(w);
+          }
         }
       }
+      std::swap(current, next);
     }
   }
   return result;

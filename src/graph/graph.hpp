@@ -26,6 +26,10 @@ struct GraphPatch;
 struct PatchedGraph;
 PatchedGraph apply_patch(const Graph& parent, const GraphPatch& patch);
 
+namespace detail {
+struct TrustedCsr;
+}  // namespace detail
+
 /// An undirected edge, stored with endpoints() in ascending order.
 struct Edge {
   Vertex u = kNoVertex;
@@ -69,6 +73,12 @@ class Graph {
                             offsets_[static_cast<std::size_t>(v)]);
   }
 
+  /// Start of v's adjacency in the flat CSR array. Slot j of vertex v (its
+  /// j-th neighbour) has the stable flat index adjacency_offset(v) + j —
+  /// the indexing scheme hot paths use for parallel per-slot attribute
+  /// arrays (e.g. the undirected edge id of every directed CSR slot).
+  std::size_t adjacency_offset(Vertex v) const { return offsets_[static_cast<std::size_t>(v)]; }
+
   /// Edge query in O(log deg(u)).
   bool has_edge(Vertex u, Vertex v) const;
 
@@ -92,16 +102,33 @@ class Graph {
 
  private:
   /// Trusted CSR constructor: offsets/neighbors must already satisfy every
-  /// class invariant (sorted, symmetric, loop-free). Only apply_patch
-  /// (ops.cpp) uses it, to splice unchanged adjacency spans from a parent
-  /// graph without re-validating them.
+  /// class invariant (sorted, symmetric, loop-free). Reachable only through
+  /// apply_patch (ops.cpp), which splices unchanged adjacency spans from a
+  /// parent graph, and detail::TrustedCsr, the hot paths' assembly seam.
   Graph(std::vector<std::size_t> offsets, std::vector<Vertex> neighbors)
       : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
 
   friend PatchedGraph apply_patch(const Graph& parent, const GraphPatch& patch);
+  friend struct detail::TrustedCsr;
 
   std::vector<std::size_t> offsets_;  // size n+1
   std::vector<Vertex> neighbors_;     // size 2m, sorted per vertex
 };
+
+namespace detail {
+
+/// Internal escape hatch into the trusted CSR constructor for hot paths that
+/// assemble offsets/neighbors arrays guaranteed to satisfy the Graph
+/// invariants by construction (the CSR-native induced-subgraph and ball-view
+/// extraction: relabelling is monotone, so copied rows stay sorted, and
+/// edges are taken from an already-valid graph). Anything that cannot prove
+/// the invariants must go through a validating constructor instead.
+struct TrustedCsr {
+  static Graph build(std::vector<std::size_t> offsets, std::vector<Vertex> neighbors) {
+    return Graph(std::move(offsets), std::move(neighbors));
+  }
+};
+
+}  // namespace detail
 
 }  // namespace lmds::graph

@@ -155,14 +155,27 @@ Subgraph induced_subgraph(const Graph& g, std::span<const Vertex> vertices) {
     if (!g.has_vertex(p)) throw std::invalid_argument("induced_subgraph: vertex out of range");
     result.from_parent[static_cast<std::size_t>(p)] = static_cast<Vertex>(i);
   }
-  std::vector<std::vector<Vertex>> adjacency(result.to_parent.size());
-  for (std::size_t i = 0; i < result.to_parent.size(); ++i) {
+  // CSR-native assembly: to_parent is sorted, so relabelling is monotone and
+  // every copied row stays sorted — the trusted constructor's invariants
+  // hold by construction, no per-row sort or validating rebuild needed.
+  const std::size_t k = result.to_parent.size();
+  std::vector<std::size_t> offsets(k + 1, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t deg = 0;
+    for (Vertex w : g.neighbors(result.to_parent[i])) {
+      if (result.from_parent[static_cast<std::size_t>(w)] != kNoVertex) ++deg;
+    }
+    offsets[i + 1] = offsets[i] + deg;
+  }
+  std::vector<Vertex> neighbors(offsets.back());
+  for (std::size_t i = 0; i < k; ++i) {
+    Vertex* out = neighbors.data() + offsets[i];
     for (Vertex w : g.neighbors(result.to_parent[i])) {
       const Vertex j = result.from_parent[static_cast<std::size_t>(w)];
-      if (j != kNoVertex) adjacency[i].push_back(j);
+      if (j != kNoVertex) *out++ = j;
     }
   }
-  result.graph = Graph(adjacency);
+  result.graph = detail::TrustedCsr::build(std::move(offsets), std::move(neighbors));
   return result;
 }
 

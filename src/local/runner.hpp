@@ -7,6 +7,12 @@
 // reporting the measured rounds/messages/bytes. run_ball_algorithm_fast
 // computes the same output through cut views (no traffic simulation) — the
 // two are tested to agree, and benches choose per their needs.
+//
+// Both runners accept a thread count: per-vertex view extraction and
+// decisions shard across a fork-join pool, each vertex writing a
+// preallocated slot, and the selected set is collected in vertex order —
+// results are bit-identical for every thread count. Decisions must be pure
+// (they are: every decision in this library reads only its BallView).
 
 #include <functional>
 
@@ -24,11 +30,13 @@ struct RunResult {
 };
 
 /// Full message-passing execution: radius-r views in r+1 rounds, then apply
-/// `decide` at every node.
-RunResult run_ball_algorithm(const Network& net, int radius, const BallDecision& decide);
+/// `decide` at every node. `threads` <= 0 picks hardware_concurrency.
+RunResult run_ball_algorithm(const Network& net, int radius, const BallDecision& decide,
+                             int threads = 1);
 
 /// Same output, computed without simulating traffic (traffic reports the
 /// model cost: rounds = radius + 1, messages/bytes = 0).
-RunResult run_ball_algorithm_fast(const Network& net, int radius, const BallDecision& decide);
+RunResult run_ball_algorithm_fast(const Network& net, int radius, const BallDecision& decide,
+                                  int threads = 1);
 
 }  // namespace lmds::local

@@ -29,7 +29,13 @@ Network Network::with_random_ids(Graph g, std::mt19937_64& rng) {
   std::set<NodeId> chosen;
   std::uniform_int_distribution<NodeId> draw(0, static_cast<NodeId>(1) << 48);
   while (static_cast<int>(chosen.size()) < n) chosen.insert(draw(rng));
-  return Network(std::move(g), std::vector<NodeId>(chosen.begin(), chosen.end()));
+  // The set yields the ids sorted; assigning them in that order would make
+  // NodeId monotone in vertex index — a hidden correlation no adversarial ID
+  // assignment has. Shuffle (deterministically, from the same rng) so the
+  // id order carries no information about the topology order.
+  std::vector<NodeId> ids(chosen.begin(), chosen.end());
+  std::shuffle(ids.begin(), ids.end(), rng);
+  return Network(std::move(g), std::move(ids));
 }
 
 FloodingState::FloodingState(const Network& net) : net_(&net), edges_(net.topology().edges()) {
@@ -49,23 +55,33 @@ FloodingState::FloodingState(const Network& net) : net_(&net), edges_(net.topolo
 void FloodingState::step(TrafficStats& stats) {
   const int n = net_->num_nodes();
   const Graph& g = net_->topology();
-  // Synchronous semantics: all sends read the pre-round knowledge.
-  std::vector<std::uint64_t> previous = knowledge_;
-  const auto prev_row = [&](Vertex v) {
-    return previous.data() + static_cast<std::size_t>(v) * static_cast<std::size_t>(words_per_node_);
+  // Synchronous semantics: all sends read the pre-round knowledge. The live
+  // buffer is that pre-round state; unions land in next_, and one swap ends
+  // the round — the old whole-bitset copy is gone.
+  next_.resize(knowledge_.size());
+  const auto next_row = [&](Vertex v) {
+    return next_.data() + static_cast<std::size_t>(v) * static_cast<std::size_t>(words_per_node_);
   };
-  std::uint64_t bits_sent = 0;
+  popcounts_.resize(static_cast<std::size_t>(n));
   for (Vertex v = 0; v < n; ++v) {
-    const std::uint64_t* from = prev_row(v);
+    const std::uint64_t* from = row(v);
     std::uint64_t popcount = 0;
     for (int w = 0; w < words_per_node_; ++w) popcount += std::popcount(from[w]);
-    for (Vertex u : g.neighbors(v)) {
-      std::uint64_t* to = row(u);
+    popcounts_[static_cast<std::size_t>(v)] = popcount;
+  }
+  std::uint64_t bits_sent = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    const std::uint64_t* own = row(u);
+    std::uint64_t* to = next_row(u);
+    std::copy(own, own + words_per_node_, to);
+    for (Vertex v : g.neighbors(u)) {
+      const std::uint64_t* from = row(v);
       for (int w = 0; w < words_per_node_; ++w) to[w] |= from[w];
       stats.messages += 1;
-      bits_sent += popcount;
+      bits_sent += popcounts_[static_cast<std::size_t>(v)];
     }
   }
+  knowledge_.swap(next_);
   // An edge record is two 48-bit ids ~ 12 bytes.
   stats.bytes += bits_sent * 12;
   stats.rounds += 1;
@@ -74,11 +90,6 @@ void FloodingState::step(TrafficStats& stats) {
 
 void FloodingState::run(int rounds, TrafficStats& stats) {
   for (int i = 0; i < rounds; ++i) step(stats);
-}
-
-bool FloodingState::knows_edge(Vertex v, int e) const {
-  return (row(v)[static_cast<std::size_t>(e) / 64] >>
-          (static_cast<std::size_t>(e) % 64)) & 1;
 }
 
 std::vector<int> FloodingState::known_edges(Vertex v) const {

@@ -75,6 +75,9 @@ class FloodingState {
 
   /// Executes one synchronous round: every node broadcasts its entire
   /// knowledge to all neighbours; knowledge sets take unions. Updates stats.
+  /// Double-buffered: the pre-round knowledge is read from the live buffer
+  /// while unions are written to a second one, then the buffers swap — no
+  /// per-round copy of the whole n x words bitset.
   void step(TrafficStats& stats);
 
   /// Runs `rounds` rounds.
@@ -83,8 +86,12 @@ class FloodingState {
   /// Number of completed rounds.
   int rounds_done() const { return rounds_done_; }
 
-  /// True iff node v has heard of edge index e.
-  bool knows_edge(Vertex v, int e) const;
+  /// True iff node v has heard of edge index e. Inline — this is the test
+  /// the CSR-native view extraction runs once per traversed adjacency slot.
+  bool knows_edge(Vertex v, int e) const {
+    return (row(v)[static_cast<std::size_t>(e) / 64] >>
+            (static_cast<std::size_t>(e) % 64)) & 1;
+  }
 
   /// Edge indices known to node v, ascending.
   std::vector<int> known_edges(Vertex v) const;
@@ -94,6 +101,8 @@ class FloodingState {
   std::vector<graph::Edge> edges_;
   int words_per_node_ = 0;
   std::vector<std::uint64_t> knowledge_;  // num_nodes x words_per_node bitset
+  std::vector<std::uint64_t> next_;       // step()'s write buffer, swapped in
+  std::vector<std::uint64_t> popcounts_;  // per-sender row popcounts, reused
   int rounds_done_ = 0;
 
   std::uint64_t* row(Vertex v) {

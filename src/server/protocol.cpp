@@ -186,6 +186,13 @@ SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
                       std::to_string(limits.max_request_threads) + "]");
         }
         out.overrides.threads = threads;
+      } else if (name == "intra_threads") {
+        const int intra = int_field(value, "batch \"intra_threads\"");
+        if (intra < 1 || intra > limits.max_request_threads) {
+          bad_request("batch \"intra_threads\" must be in [1, " +
+                      std::to_string(limits.max_request_threads) + "]");
+        }
+        out.overrides.intra_graph_threads = intra;
       } else if (name == "shard_size") {
         const int shard = int_field(value, "batch \"shard_size\"");
         if (shard < 1 || shard > (1 << 20)) {
@@ -199,7 +206,7 @@ SolveRequest decode_solve(const JsonValue& root, const api::Registry& registry,
         out.overrides.bypass_cache = value.as_bool();
       } else {
         bad_request("unknown batch override \"" + name +
-                    "\" (expected threads, shard_size, no_cache)");
+                    "\" (expected threads, intra_threads, shard_size, no_cache)");
       }
     }
   }
@@ -328,8 +335,13 @@ std::string encode_solve_result(std::span<const api::Response> responses,
     json_append_string(out, ns);
     out += ',';
   }
-  out += "\"diag\":{\"threads\":" + std::to_string(diag.threads) +
-         ",\"shards\":" + std::to_string(diag.shards) +
+  out += "\"diag\":{\"threads\":" + std::to_string(diag.threads);
+  if (diag.intra_threads > 1) {
+    // Emitted only when intra-graph sharding was actually on — keeps every
+    // single-threaded response line byte-identical to pre-intra clients.
+    out += ",\"intra_threads\":" + std::to_string(diag.intra_threads);
+  }
+  out += ",\"shards\":" + std::to_string(diag.shards) +
          ",\"stolen_shards\":" + std::to_string(diag.stolen_shards) +
          ",\"cache_hits\":" + std::to_string(diag.cache_hits) +
          ",\"cache_misses\":" + std::to_string(diag.cache_misses) +
