@@ -3,8 +3,8 @@
 
 Drives the checked-in .clang-tidy config over every translation unit in a
 compile_commands.json whose source lives under the scoped directories
-(src/api, src/server, src/common by default — the concurrent serving core
-this repo's lint gate covers). CI calls this after configuring the `tidy`
+(src/api, src/server, src/common, src/cluster by default — the concurrent
+serving core this repo's lint gate covers). CI calls this after configuring the `tidy`
 CMake preset; locally:
 
     cmake --preset tidy          # needs clang/clang++ on PATH
@@ -27,7 +27,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BUILD_DIR = os.path.join(REPO_ROOT, "build", "tidy")
-DEFAULT_SCOPE = ("src/api", "src/server", "src/common")
+DEFAULT_SCOPE = ("src/api", "src/server", "src/common", "src/cluster")
 
 
 def scoped_sources(build_dir: str, scope: tuple[str, ...]) -> list[str]:

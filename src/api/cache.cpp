@@ -329,7 +329,8 @@ void ResponseCache::serialize(std::ostream& out) const {
   if (!out) throw std::runtime_error("cache snapshot: stream write failed");
 }
 
-void ResponseCache::deserialize(std::istream& in) {
+ResponseCache::LruList ResponseCache::parse_snapshot(std::istream& in,
+                                                     std::size_t clamp) {
   char magic[8];
   get_bytes(in, magic, sizeof magic);
   if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
@@ -343,7 +344,7 @@ void ResponseCache::deserialize(std::istream& in) {
   const std::uint64_t count = get_u64(in);
 
   // Parse the whole snapshot before touching live state: a truncation throws
-  // from here and the cache is left exactly as it was.
+  // from here and the caller's cache is left exactly as it was.
   LruList entries;  // built MRU-first, i.e. in final list order
   for (std::uint64_t i = 0; i < count; ++i) {
     CacheKey key;
@@ -354,13 +355,37 @@ void ResponseCache::deserialize(std::istream& in) {
     key.ns = version >= kVersion ? get_str(in) : std::string();
     Response value = get_response(in);
     entries.emplace_front(std::move(key), std::move(value));
-    if (enabled() && entries.size() > capacity_) entries.pop_back();  // drop oldest
+    if (clamp > 0 && entries.size() > clamp) entries.pop_back();  // drop oldest
   }
   if (get_u64(in) != kFooter) truncated();
+  return entries;
+}
+
+void ResponseCache::deserialize(std::istream& in) {
+  LruList entries = parse_snapshot(in, enabled() ? capacity_ : 0);
   if (!enabled()) return;
 
   common::MutexLock lock(mu_);
   install_entries_locked(std::move(entries));
+}
+
+void ResponseCache::merge(std::istream& in) {
+  LruList entries = parse_snapshot(in, enabled() ? capacity_ : 0);
+  if (!enabled()) return;
+
+  common::MutexLock lock(mu_);
+  // MRU-first traversal + push_back keeps the snapshot's relative recency
+  // while queueing every merged entry behind the live ones; once full, the
+  // remaining (older) snapshot entries are dropped rather than evicting
+  // anything the server already holds.
+  for (auto& [key, value] : entries) {
+    if (lru_.size() >= capacity_) break;
+    if (index_.contains(key)) continue;
+    prune_idle_namespaces_locked(key.ns);
+    ++ns_stats_[key.ns].size;
+    lru_.emplace_back(std::move(key), std::move(value));
+    index_[lru_.back().first] = std::prev(lru_.end());
+  }
 }
 
 void ResponseCache::install_entries_locked(LruList entries) {

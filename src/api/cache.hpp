@@ -140,6 +140,15 @@ class ResponseCache {
   /// leaving the cache unchanged. A disabled cache ignores the snapshot.
   void deserialize(std::istream& in) LMDS_EXCLUDES(mu_);
 
+  /// Merges a snapshot into the live entries instead of replacing them:
+  /// entries whose key is already present are skipped, absent ones fill the
+  /// *spare* capacity (they are queued behind every live entry in recency
+  /// order, and once the cache is full the rest of the snapshot is ignored —
+  /// replicated data never evicts locally-hot entries). Hit/miss/eviction
+  /// counters are untouched, so peer replication cannot skew a server's
+  /// observed hit rate. Same format/error behavior as deserialize().
+  void merge(std::istream& in) LMDS_EXCLUDES(mu_);
+
   /// File convenience over serialize()/deserialize(); throws
   /// std::runtime_error when the file cannot be opened or written.
   void save_file(const std::string& path) const;
@@ -162,6 +171,13 @@ class ResponseCache {
   /// MRU-first), rebuilds the index, and recomputes per-namespace sizes —
   /// deserialize()'s commit step, after all parsing that can throw.
   void install_entries_locked(LruList entries) LMDS_REQUIRES(mu_);
+
+  /// Parses a full snapshot stream into an MRU-first list, validating magic,
+  /// version and footer. `clamp` > 0 drops the least-recent entries beyond
+  /// that count while parsing; 0 keeps everything. Throws on a corrupt or
+  /// truncated stream without touching any live state (it is static — the
+  /// shared front half of deserialize() and merge()).
+  static LruList parse_snapshot(std::istream& in, std::size_t clamp);
 
   const std::size_t capacity_;
   mutable common::Mutex mu_;

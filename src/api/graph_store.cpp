@@ -6,7 +6,7 @@
 
 namespace lmds::api {
 
-GraphStore::GraphStore(std::size_t capacity) : capacity_(capacity) {}
+GraphStore::GraphStore(const StoreOptions& opts) : opts_(opts) {}
 
 std::string GraphStore::handle_for(std::uint64_t hash) {
   static constexpr char kHex[] = "0123456789abcdef";
@@ -40,17 +40,8 @@ void GraphStore::evict_unpinned_locked() {
   for (auto lru = unpinned_.rbegin(); lru != unpinned_.rend(); ++lru) {
     const auto it = entries_.find(*lru);
     if (it->second.child_refs > 0) continue;
-    if (const auto& lin = it->second.lineage) {
-      // The evicted entry releases its own claim on its parent. A guard
-      // against 0 keeps a re-put parent (evicted and later re-inserted,
-      // never re-claimed) from going negative.
-      const auto parent_it = entries_.find(lin->parent_hash);
-      if (parent_it != entries_.end() && parent_it->second.child_refs > 0) {
-        --parent_it->second.child_refs;
-      }
-    }
-    entries_.erase(it);
     unpinned_.erase(std::next(lru).base());
+    erase_entry_locked(it);
     ++evictions_;
     return;
   }
@@ -59,7 +50,138 @@ void GraphStore::evict_unpinned_locked() {
                        "(drop_graph frees capacity)");
 }
 
-GraphStore::PutResult GraphStore::put(graph::Graph g) {
+void GraphStore::erase_entry_locked(std::unordered_map<std::uint64_t, Entry>::iterator it) {
+  if (const auto& lin = it->second.lineage) {
+    // The erased entry releases its own claim on its parent. A guard
+    // against 0 keeps a re-put parent (evicted and later re-inserted,
+    // never re-claimed) from going negative.
+    const auto parent_it = entries_.find(lin->parent_hash);
+    if (parent_it != entries_.end() && parent_it->second.child_refs > 0) {
+      --parent_it->second.child_refs;
+    }
+  }
+  uncharge_namespace_locked(it->second.ns, it->second.bytes);
+  entries_.erase(it);
+}
+
+void GraphStore::charge_namespace_locked(const std::string& ns, std::uint64_t bytes) {
+  const auto current = [&] {
+    const auto it = ns_bytes_.find(ns);
+    return it == ns_bytes_.end() ? std::uint64_t{0} : it->second;
+  };
+  if (opts_.max_namespace_bytes != 0) {
+    // Over quota: reclaim this namespace's OWN unpinned entries (LRU first)
+    // before rejecting, so "drop_graph then retry" always works. Another
+    // namespace's data is never touched, and pinned entries never silently
+    // vanish — if reclaiming cannot make room, the put is refused.
+    while (current() + bytes > opts_.max_namespace_bytes) {
+      auto lru = unpinned_.rbegin();
+      for (; lru != unpinned_.rend(); ++lru) {
+        const auto it = entries_.find(*lru);
+        if (it->second.ns == ns && it->second.child_refs == 0) break;
+      }
+      if (lru == unpinned_.rend()) break;  // nothing of ours left to free
+      const auto it = entries_.find(*lru);
+      unpinned_.erase(std::next(lru).base());
+      erase_entry_locked(it);
+      ++evictions_;
+    }
+    if (current() + bytes > opts_.max_namespace_bytes) {
+      ++quota_rejections_;
+      throw GraphStoreFull("namespace \"" + ns + "\" graph-store quota exceeded: " +
+                           std::to_string(current()) + " + " + std::to_string(bytes) +
+                           " bytes > limit " + std::to_string(opts_.max_namespace_bytes) +
+                           " (drop_graph frees quota)");
+    }
+  }
+  ns_bytes_[ns] += bytes;
+}
+
+void GraphStore::uncharge_namespace_locked(const std::string& ns, std::uint64_t bytes) {
+  const auto it = ns_bytes_.find(ns);
+  if (it == ns_bytes_.end()) return;
+  it->second = it->second > bytes ? it->second - bytes : 0;
+  // Erase at zero so the map stays bounded by live entries, not by every
+  // client-supplied tag ever seen.
+  if (it->second == 0) ns_bytes_.erase(it);
+}
+
+void GraphStore::pin_locked(Entry& entry, SessionId session) {
+  if (entry.refs == 0) {
+    unpinned_.erase(entry.lru_it);
+  }
+  ++entry.refs;
+  Lease& lease = entry.leases[session];
+  ++lease.count;
+  if (session != kSharedSession && opts_.lease_ttl.count() > 0) {
+    lease.deadline = std::chrono::steady_clock::now() + opts_.lease_ttl;
+  }
+}
+
+std::size_t GraphStore::expire_leases_locked() {
+  if (opts_.lease_ttl.count() <= 0) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t released = 0;
+  for (auto& [hash, entry] : entries_) {
+    // refs == 0 implies no leases (they are erased as they empty), so an
+    // already-unpinned entry cannot be double-inserted into unpinned_.
+    if (entry.refs == 0) continue;
+    for (auto lease_it = entry.leases.begin(); lease_it != entry.leases.end();) {
+      if (lease_it->first == kSharedSession || lease_it->second.deadline >= now) {
+        ++lease_it;
+        continue;
+      }
+      released += static_cast<std::size_t>(lease_it->second.count);
+      entry.refs -= lease_it->second.count;
+      lease_it = entry.leases.erase(lease_it);
+    }
+    if (entry.refs == 0) {
+      unpinned_.push_front(hash);
+      entry.lru_it = unpinned_.begin();
+    }
+  }
+  lease_expiries_ += released;
+  return released;
+}
+
+GraphStore::PutResult GraphStore::put(graph::Graph g, SessionId session, std::string_view ns) {
+  const std::uint64_t hash = graph::graph_hash(g);
+  PutResult out;
+  out.handle = handle_for(hash);
+  out.hash = hash;
+  out.vertices = g.num_vertices();
+  out.edges = g.num_edges();
+
+  common::MutexLock lock(mu_);
+  expire_leases_locked();
+  if (const auto it = entries_.find(hash); it != entries_.end()) {
+    // Content-addressed reuse: re-pin, discarding the caller's copy.
+    pin_locked(it->second, session);
+    ++reuses_;
+    return out;
+  }
+  if (entries_.size() >= opts_.capacity) evict_unpinned_locked();
+  // Quota after eviction: freeing an unrelated namespace's LRU entry first
+  // is harmless, and this order never leaves charged bytes without an entry.
+  const std::uint64_t bytes = approx_bytes(out.vertices, out.edges);
+  charge_namespace_locked(std::string(ns), bytes);
+  Entry entry;
+  entry.graph = std::make_shared<const graph::Graph>(std::move(g));
+  entry.refs = 1;
+  entry.leases[session] = Lease{
+      .count = 1,
+      .deadline = session != kSharedSession && opts_.lease_ttl.count() > 0
+                      ? std::chrono::steady_clock::now() + opts_.lease_ttl
+                      : std::chrono::steady_clock::time_point{}};
+  entry.ns = std::string(ns);
+  entry.bytes = bytes;
+  entries_.emplace(hash, std::move(entry));
+  ++puts_;
+  out.inserted = true;
+  return out;
+}
+
+GraphStore::PutResult GraphStore::put_replica(graph::Graph g, std::string_view ns) {
   const std::uint64_t hash = graph::graph_hash(g);
   PutResult out;
   out.handle = handle_for(hash);
@@ -69,23 +191,33 @@ GraphStore::PutResult GraphStore::put(graph::Graph g) {
 
   common::MutexLock lock(mu_);
   if (const auto it = entries_.find(hash); it != entries_.end()) {
-    // Content-addressed reuse: re-pin, discarding the caller's copy.
-    if (it->second.refs == 0) unpinned_.erase(it->second.lru_it);
-    ++it->second.refs;
+    // Already present (the common replication case — handles are globally
+    // stable). Promote, don't pin: nobody owns a replica.
+    if (it->second.refs == 0) {
+      unpinned_.splice(unpinned_.begin(), unpinned_, it->second.lru_it);
+    }
     ++reuses_;
     return out;
   }
-  if (entries_.size() >= capacity_) evict_unpinned_locked();
+  if (entries_.size() >= opts_.capacity) evict_unpinned_locked();
+  const std::uint64_t bytes = approx_bytes(out.vertices, out.edges);
+  charge_namespace_locked(std::string(ns), bytes);
   Entry entry;
   entry.graph = std::make_shared<const graph::Graph>(std::move(g));
-  entry.refs = 1;
-  entries_.emplace(hash, std::move(entry));
+  entry.refs = 0;
+  entry.ns = std::string(ns);
+  entry.bytes = bytes;
+  const auto [it, ok] = entries_.emplace(hash, std::move(entry));
+  (void)ok;
+  unpinned_.push_front(hash);
+  it->second.lru_it = unpinned_.begin();
   ++puts_;
   out.inserted = true;
   return out;
 }
 
-GraphStore::PatchResult GraphStore::patch(std::string_view handle, const graph::GraphPatch& p) {
+GraphStore::PatchResult GraphStore::patch(std::string_view handle, const graph::GraphPatch& p,
+                                          SessionId session, std::string_view ns) {
   const std::optional<std::uint64_t> parent_hash = parse_handle(handle);
   std::shared_ptr<const graph::Graph> parent;
   if (parent_hash) {
@@ -93,6 +225,11 @@ GraphStore::PatchResult GraphStore::patch(std::string_view handle, const graph::
     if (const auto it = entries_.find(*parent_hash); it != entries_.end()) {
       if (it->second.refs == 0) {
         unpinned_.splice(unpinned_.begin(), unpinned_, it->second.lru_it);
+      } else if (const auto lease_it = it->second.leases.find(session);
+                 lease_it != it->second.leases.end() && session != kSharedSession &&
+                 opts_.lease_ttl.count() > 0) {
+        // Patching through a handle is a touch: renew the owner's lease.
+        lease_it->second.deadline = std::chrono::steady_clock::now() + opts_.lease_ttl;
       }
       parent = it->second.graph;
     }
@@ -114,15 +251,17 @@ GraphStore::PatchResult GraphStore::patch(std::string_view handle, const graph::
   out.parent = std::string(handle);
 
   common::MutexLock lock(mu_);
+  expire_leases_locked();
   if (const auto it = entries_.find(child_hash); it != entries_.end()) {
     // Content-addressed reuse (includes the no-op patch, whose child is the
     // parent itself): re-pin the existing entry, keep its original lineage.
-    if (it->second.refs == 0) unpinned_.erase(it->second.lru_it);
-    ++it->second.refs;
+    pin_locked(it->second, session);
     ++reuses_;
     return out;
   }
-  if (entries_.size() >= capacity_) evict_unpinned_locked();
+  if (entries_.size() >= opts_.capacity) evict_unpinned_locked();
+  const std::uint64_t bytes = approx_bytes(out.put.vertices, out.put.edges);
+  charge_namespace_locked(std::string(ns), bytes);
   auto lineage = std::make_shared<PatchLineage>();
   lineage->parent = std::move(parent);
   lineage->parent_hash = *parent_hash;
@@ -131,7 +270,14 @@ GraphStore::PatchResult GraphStore::patch(std::string_view handle, const graph::
   Entry entry;
   entry.graph = std::make_shared<const graph::Graph>(std::move(patched.graph));
   entry.refs = 1;
+  entry.leases[session] = Lease{
+      .count = 1,
+      .deadline = session != kSharedSession && opts_.lease_ttl.count() > 0
+                      ? std::chrono::steady_clock::now() + opts_.lease_ttl
+                      : std::chrono::steady_clock::time_point{}};
   entry.lineage = std::move(lineage);
+  entry.ns = std::string(ns);
+  entry.bytes = bytes;
   entries_.emplace(child_hash, std::move(entry));
   // Eviction protection for the parent — if its entry still exists. (It may
   // have been dropped and evicted while we hashed; the lineage's shared_ptr
@@ -152,7 +298,8 @@ std::shared_ptr<const PatchLineage> GraphStore::lineage(std::string_view handle)
   return it == entries_.end() ? nullptr : it->second.lineage;
 }
 
-std::shared_ptr<const graph::Graph> GraphStore::get(std::string_view handle) {
+std::shared_ptr<const graph::Graph> GraphStore::get(std::string_view handle,
+                                                    SessionId session) {
   const std::optional<std::uint64_t> hash = parse_handle(handle);
   if (!hash) return nullptr;
   common::MutexLock lock(mu_);
@@ -161,20 +308,30 @@ std::shared_ptr<const graph::Graph> GraphStore::get(std::string_view handle) {
   if (it->second.refs == 0) {
     // Keep a live-but-unpinned graph from being the next eviction victim.
     unpinned_.splice(unpinned_.begin(), unpinned_, it->second.lru_it);
+  } else if (session != kSharedSession && opts_.lease_ttl.count() > 0) {
+    // Solving by handle is a touch: renew the owner's lease so an active
+    // client's pins never expire under it.
+    if (const auto lease_it = it->second.leases.find(session);
+        lease_it != it->second.leases.end()) {
+      lease_it->second.deadline = std::chrono::steady_clock::now() + opts_.lease_ttl;
+    }
   }
   return it->second.graph;
 }
 
-bool GraphStore::drop(std::string_view handle) {
+bool GraphStore::drop(std::string_view handle, SessionId session) {
   const std::optional<std::uint64_t> hash = parse_handle(handle);
   if (!hash) return false;
   common::MutexLock lock(mu_);
   const auto it = entries_.find(*hash);
   if (it == entries_.end()) return false;
-  // Every put was already dropped: there is no reference left to release
-  // (the entry merely lingers as an evictable cache line).
-  if (it->second.refs == 0) return false;
+  // Ownership-safe: only a session holding a lease may release a pin, and
+  // only its own. (refs == 0 means nobody holds anything — the entry merely
+  // lingers as an evictable cache line.)
+  const auto lease_it = it->second.leases.find(session);
+  if (it->second.refs == 0 || lease_it == it->second.leases.end()) return false;
   ++drops_;
+  if (--lease_it->second.count == 0) it->second.leases.erase(lease_it);
   if (--it->second.refs == 0) {
     // Last reference released: the entry lingers as an evictable LRU line
     // (a re-put of the same graph is free until capacity reclaims it).
@@ -182,6 +339,40 @@ bool GraphStore::drop(std::string_view handle) {
     it->second.lru_it = unpinned_.begin();
   }
   return true;
+}
+
+std::size_t GraphStore::release_session(SessionId session) {
+  if (session == kSharedSession) return 0;
+  common::MutexLock lock(mu_);
+  std::size_t released = 0;
+  for (auto& [hash, entry] : entries_) {
+    const auto lease_it = entry.leases.find(session);
+    if (lease_it == entry.leases.end()) continue;
+    released += static_cast<std::size_t>(lease_it->second.count);
+    entry.refs -= lease_it->second.count;
+    entry.leases.erase(lease_it);
+    if (entry.refs == 0) {
+      unpinned_.push_front(hash);
+      entry.lru_it = unpinned_.begin();
+    }
+  }
+  return released;
+}
+
+std::size_t GraphStore::expire_leases() {
+  common::MutexLock lock(mu_);
+  return expire_leases_locked();
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const graph::Graph>>>
+GraphStore::snapshot_graphs() const {
+  common::MutexLock lock(mu_);
+  std::vector<std::pair<std::string, std::shared_ptr<const graph::Graph>>> out;
+  out.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_) {
+    out.emplace_back(handle_for(hash), entry.graph);
+  }
+  return out;
 }
 
 GraphStoreStats GraphStore::stats() const {
@@ -192,9 +383,17 @@ GraphStoreStats GraphStore::stats() const {
   s.reuses = reuses_;
   s.drops = drops_;
   s.evictions = evictions_;
+  s.lease_expiries = lease_expiries_;
+  s.quota_rejections = quota_rejections_;
   s.size = entries_.size();
   s.pinned = entries_.size() - unpinned_.size();
-  s.capacity = capacity_;
+  s.capacity = opts_.capacity;
+  s.namespace_bytes = ns_bytes_;
+  for (const auto& [hash, entry] : entries_) {
+    for (const auto& [session, lease] : entry.leases) {
+      s.session_pins[session] += static_cast<std::uint64_t>(lease.count);
+    }
+  }
   return s;
 }
 

@@ -1,0 +1,68 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/hash.hpp"
+
+namespace lmds::cluster {
+
+namespace {
+
+std::uint64_t point_of(const std::string& peer, int vnode) {
+  std::uint64_t h = 0x636c7573746572ULL;  // distinct seed from graph hashing
+  for (const char c : peer) h = graph::mix64(h ^ static_cast<unsigned char>(c));
+  return graph::mix64(h ^ static_cast<std::uint64_t>(vnode));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> peers, int vnodes) : peers_(std::move(peers)) {
+  if (peers_.empty()) throw std::invalid_argument("hash ring needs at least one peer");
+  std::unordered_set<std::string> seen;
+  for (const std::string& peer : peers_) {
+    if (!seen.insert(peer).second) {
+      throw std::invalid_argument("duplicate peer in hash ring: " + peer);
+    }
+  }
+  vnodes = std::max(vnodes, 1);
+  ring_.reserve(peers_.size() * static_cast<std::size_t>(vnodes));
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    for (int v = 0; v < vnodes; ++v) ring_.emplace_back(point_of(peers_[i], v), i);
+  }
+  // Sort by point; break the (astronomically unlikely) point collision by
+  // peer index so construction order never changes placement.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::owner_index(std::uint64_t hash) const {
+  // Rehash the key before walking the ring: handle fingerprints are already
+  // well-mixed, but inline callers may pass anything.
+  const std::uint64_t point = graph::mix64(hash);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, std::size_t{0}));
+  if (it == ring_.end()) it = ring_.begin();  // wrap: the ring is a circle
+  return it->second;
+}
+
+std::vector<std::size_t> HashRing::preference(std::uint64_t hash) const {
+  const std::uint64_t point = graph::mix64(hash);
+  auto start = std::lower_bound(ring_.begin(), ring_.end(),
+                                std::make_pair(point, std::size_t{0}));
+  if (start == ring_.end()) start = ring_.begin();
+  std::vector<std::size_t> order;
+  order.reserve(peers_.size());
+  std::vector<bool> taken(peers_.size(), false);
+  for (std::size_t step = 0; step < ring_.size() && order.size() < peers_.size(); ++step) {
+    auto it = start + static_cast<std::ptrdiff_t>(step);
+    if (it >= ring_.end()) it -= static_cast<std::ptrdiff_t>(ring_.size());
+    if (!taken[it->second]) {
+      taken[it->second] = true;
+      order.push_back(it->second);
+    }
+  }
+  return order;
+}
+
+}  // namespace lmds::cluster

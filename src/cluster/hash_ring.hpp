@@ -1,0 +1,46 @@
+#pragma once
+// Consistent-hash ring over cluster peers. Graph handles ARE 64-bit content
+// fingerprints, so placement needs no table: every router (and every test)
+// derives the same owner for the same graph, and adding a peer moves only
+// ~1/N of the keyspace. Virtual nodes smooth the distribution: each peer
+// contributes `vnodes` points mix64-derived from its name, and a key is
+// owned by the first point clockwise from the key's hash.
+//
+// The ring is immutable after construction — membership is configuration
+// (lmds_serve --peer ...), not gossip — which is what makes it safely
+// readable from every connection thread without a lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lmds::cluster {
+
+class HashRing {
+ public:
+  /// `peers` must be non-empty and duplicate-free ("host:port" strings);
+  /// throws std::invalid_argument otherwise. vnodes < 1 is clamped to 1.
+  explicit HashRing(std::vector<std::string> peers, int vnodes = 64);
+
+  std::size_t size() const { return peers_.size(); }
+  const std::vector<std::string>& peers() const { return peers_; }
+
+  /// The peer owning `hash` (index into peers()).
+  std::size_t owner_index(std::uint64_t hash) const;
+  const std::string& owner(std::uint64_t hash) const { return peers_[owner_index(hash)]; }
+
+  /// All peers in failover preference order for `hash`: the owner first,
+  /// then each remaining peer in the order its first point appears clockwise
+  /// — the order a busy-aware router tries alternates for work that is not
+  /// pinned to the owner's store.
+  std::vector<std::size_t> preference(std::uint64_t hash) const;
+
+ private:
+  std::vector<std::string> peers_;
+  /// (point, peer index), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace lmds::cluster

@@ -19,6 +19,19 @@
 
 namespace lmds::server {
 
+/// Knobs for how patient a ProtocolClient is with a slow or dead peer. The
+/// defaults reproduce the historical behavior (block forever, no reconnect)
+/// so existing callers — soak, serve_client, tests — are unchanged; the
+/// cluster router dials peers with real timeouts and reconnect enabled.
+struct ClientOptions {
+  int connect_timeout_ms = 0;     ///< bound on the TCP connect; 0 = kernel default
+  int io_timeout_ms = 0;          ///< bound on each read/write; 0 = block forever
+  bool reconnect_on_eof = false;  ///< retry an exchange once over a fresh
+                                  ///< connection when the server closed this one
+                                  ///< (host:port ctor only; a session namespace
+                                  ///< is re-opened on the new connection)
+};
+
 /// One client connection to an lmds_serve instance. Owns the socket.
 class ProtocolClient {
  public:
@@ -26,11 +39,13 @@ class ProtocolClient {
   /// (the verbs move into routes); `ns` is the cache namespace every request
   /// runs in ("" = default; line protocol selects it via open_session(),
   /// HTTP carries it as the X-Lmds-Namespace header on each request).
-  /// Throws std::runtime_error when the TCP connect fails.
-  ProtocolClient(const std::string& host, int port, bool http, std::string ns);
+  /// Throws std::runtime_error when the TCP connect fails (or times out).
+  ProtocolClient(const std::string& host, int port, bool http, std::string ns,
+                 ClientOptions options = {});
 
   /// Adopts an already-connected socket (tests, ephemeral-port setups).
-  ProtocolClient(int fd, bool http, std::string ns);
+  /// reconnect_on_eof is ignored — the endpoint is unknown.
+  ProtocolClient(int fd, bool http, std::string ns, ClientOptions options = {});
 
   ~ProtocolClient();
   ProtocolClient(const ProtocolClient&) = delete;
@@ -75,10 +90,21 @@ class ProtocolClient {
   std::optional<std::string> read_raw_line(std::size_t max_bytes = 64u << 20);
 
  private:
+  /// The unretried bodies of exchange_line/exchange_http; throw the cpp-local
+  /// ConnectionClosed on an EOF so the public wrappers can reconnect once.
+  JsonValue exchange_line_once(const std::string& line);
+  JsonValue exchange_http_once(const std::string& method, const std::string& target,
+                               const std::string& body);
+  bool can_reconnect() const { return options_.reconnect_on_eof && port_ >= 0; }
+  void reconnect();
+
   int fd_;
   LineReader reader_;
   bool http_;
   std::string ns_;
+  ClientOptions options_;
+  std::string host_;  ///< empty when the socket was adopted
+  int port_ = -1;     ///< <0 when the socket was adopted
 };
 
 /// Throws std::runtime_error("<what> failed: ...") unless the response body

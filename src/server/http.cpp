@@ -234,6 +234,15 @@ std::string handle_http_request(const HttpRequest& req, Session& session) {
       body = session.dispatch("stats", JsonValue(JsonValue::Object{}));
     } else if (req.target == "/v2/shutdown" && req.method == "POST") {
       body = session.dispatch("shutdown", JsonValue(JsonValue::Object{}));
+    } else if (req.target == "/v2/replicate" && req.method == "POST") {
+      // Install a peer's payload (the HTTP face of replicate_in).
+      body = session.dispatch("replicate_in", parse_body(true));
+    } else if (req.target == "/v2/replicate" && req.method == "GET") {
+      // Export this server's payload (pull-mode replicate_out).
+      body = session.dispatch("replicate_out", JsonValue(JsonValue::Object{}));
+    } else if (req.target == "/v2/replicate/push" && req.method == "POST") {
+      // Push this server's payload to the peer named in the body.
+      body = session.dispatch("replicate_out", parse_body(true));
     } else {
       return make_response(
           404,

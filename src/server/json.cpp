@@ -334,4 +334,48 @@ void json_append_double(std::string& out, double v) {
   out.append(buf, ptr);
 }
 
+namespace {
+
+void dump_value(std::string& out, const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::Null: out += "null"; break;
+    case JsonValue::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::Int: out += std::to_string(v.as_int()); break;
+    case JsonValue::Type::Double: json_append_double(out, v.as_double()); break;
+    case JsonValue::Type::String: json_append_string(out, v.as_string()); break;
+    case JsonValue::Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(out, item);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        json_append_string(out, key);
+        out += ':';
+        dump_value(out, value);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_dump(const JsonValue& v) {
+  std::string out;
+  dump_value(out, v);
+  return out;
+}
+
 }  // namespace lmds::server

@@ -13,12 +13,26 @@
 // replayed batches from cache; the save_cache / load_cache admin verbs do
 // the same on demand, at client-chosen names confined to --snapshot-dir.
 //
+// Cluster mode (src/cluster/, docs/CLUSTER.md):
+//
+//   workers:  ./lmds_serve --port 7421 --lease-ttl-ms 30000
+//             ./lmds_serve --port 7422 --lease-ttl-ms 30000
+//   router:   ./lmds_serve --port 7411 --router
+//                 --peer 127.0.0.1:7421 --peer 127.0.0.1:7422
+//
+// The router consistent-hashes graph handles across the peers, fans solve
+// batches out, and reassembles the responses bit-identical to a single
+// server. --max-namespace-bytes / --max-namespace-inflight bound one
+// tenant's store footprint and concurrency on any server (worker or not).
+//
 // Exit codes: 0 clean shutdown; 1 startup failure (bad flags, bind error).
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "cluster/router.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -33,6 +47,9 @@ int usage() {
                "                  [--snapshot FILE] [--snapshot-dir DIR | --no-snapshot-verbs]\n"
                "                  [--max-line-bytes N] [--max-graph-vertices N]\n"
                "                  [--max-batch-graphs N]\n"
+               "                  [--lease-ttl-ms N] [--max-namespace-bytes N]\n"
+               "                  [--max-namespace-inflight N]\n"
+               "                  [--router --peer HOST:PORT ... [--vnodes N]]\n"
                "defaults: 127.0.0.1:7411, threads 0 (hardware), shard_size 4,\n"
                "          cache 4096 entries, graph store 1024 graphs,\n"
                "          max 256 concurrent connections, HTTP disabled;\n"
@@ -40,7 +57,13 @@ int usage() {
                "          (printed on stdout and to --port-file/--http-port-file).\n"
                "Client save_cache/load_cache paths resolve under --snapshot-dir\n"
                "(default: the working directory); --no-snapshot-verbs disables them.\n"
-               "--snapshot itself is operator-local and unrestricted.\n");
+               "--snapshot itself is operator-local and unrestricted.\n"
+               "--lease-ttl-ms: pins made over a connection expire that many ms\n"
+               "after the owner's last touch (0 = never, the default).\n"
+               "--max-namespace-bytes / --max-namespace-inflight: per-tenant\n"
+               "store-size and solve-concurrency quotas (0 = unlimited).\n"
+               "--router turns this server into a cluster coordinator over the\n"
+               "--peer workers (at least one required; see docs/CLUSTER.md).\n");
   return 1;
 }
 
@@ -65,6 +88,8 @@ int main(int argc, char** argv) {
   std::string snapshot;
   std::string port_file;
   std::string http_port_file;
+  bool router_mode = false;
+  cluster::RouterOptions router_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -123,6 +148,26 @@ int main(int argc, char** argv) {
                parse_int_flag(value, 1, 1 << 30, &parsed)) {
       opts.core.limits.max_batch_graphs = static_cast<std::size_t>(parsed);
       ++i;
+    } else if (arg == "--lease-ttl-ms" && value &&
+               parse_int_flag(value, 0, 1 << 30, &parsed)) {
+      opts.core.lease_ttl_ms = parsed;
+      ++i;
+    } else if (arg == "--max-namespace-bytes" && value &&
+               parse_int_flag(value, 0, 1 << 30, &parsed)) {
+      opts.core.limits.max_namespace_store_bytes = static_cast<std::uint64_t>(parsed);
+      ++i;
+    } else if (arg == "--max-namespace-inflight" && value &&
+               parse_int_flag(value, 0, 1 << 20, &parsed)) {
+      opts.core.limits.max_namespace_inflight = parsed;
+      ++i;
+    } else if (arg == "--router") {
+      router_mode = true;
+    } else if (arg == "--peer" && value) {
+      router_opts.peers.emplace_back(value);
+      ++i;
+    } else if (arg == "--vnodes" && value && parse_int_flag(value, 1, 1 << 16, &parsed)) {
+      router_opts.vnodes = parsed;
+      ++i;
     } else {
       std::fprintf(stderr, "lmds_serve: bad flag or value: %s\n", arg.c_str());
       return usage();
@@ -135,9 +180,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lmds_serve: --http-port-file requires --http-port\n");
     return usage();
   }
+  if (router_mode && router_opts.peers.empty()) {
+    std::fprintf(stderr, "lmds_serve: --router requires at least one --peer HOST:PORT\n");
+    return usage();
+  }
+  if (!router_mode && !router_opts.peers.empty()) {
+    std::fprintf(stderr, "lmds_serve: --peer only makes sense with --router\n");
+    return usage();
+  }
 
   try {
     server::Server srv(opts);
+
+    // The router must be installed before serving starts (the dispatch
+    // override is read unsynchronized from connection threads) and must
+    // outlive the server's connection threads, which serve() joins.
+    std::unique_ptr<cluster::Router> router;
+    if (router_mode) {
+      router = std::make_unique<cluster::Router>(router_opts, srv.core());
+      router->install();
+      std::fprintf(stderr, "lmds_serve: routing across %zu peers\n",
+                   router->ring().size());
+    }
 
     if (!snapshot.empty()) {
       // A missing snapshot is the normal cold start; a corrupt one is worth

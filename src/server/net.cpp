@@ -1,8 +1,11 @@
 #include "server/net.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -29,6 +32,74 @@ int tcp_connect(const std::string& host, int port) {
     return -1;
   }
   return fd;
+}
+
+int tcp_connect(const std::string& host, int port, int timeout_ms) {
+  if (timeout_ms <= 0) return tcp_connect(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(fd);
+    errno = EINVAL;
+    return -1;
+  }
+  // Non-blocking connect + poll-for-writable is the portable way to put a
+  // deadline on the three-way handshake; SO_SNDTIMEO does not apply to
+  // connect(2) on Linux.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    const int saved = errno;
+    close_fd(fd);
+    errno = saved;
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 &&
+      errno != EINPROGRESS) {
+    const int saved = errno;
+    close_fd(fd);
+    errno = saved;
+    return -1;
+  }
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  int rc;
+  while ((rc = ::poll(&pfd, 1, timeout_ms)) < 0 && errno == EINTR) {
+  }
+  if (rc == 0) {
+    close_fd(fd);
+    errno = ETIMEDOUT;
+    return -1;
+  }
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (rc < 0 ||
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    const int saved = err != 0 ? err : errno;
+    close_fd(fd);
+    errno = saved;
+    return -1;
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {  // back to blocking
+    const int saved = errno;
+    close_fd(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+bool set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  }
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0 &&
+         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) == 0;
 }
 
 bool send_all(int fd, std::string_view data) {
@@ -68,6 +139,12 @@ std::optional<std::string> LineReader::next_line(std::size_t max_bytes) {
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the fd is still usable, report "no line" but
+        // remember why so the caller can tell silence from a closed peer.
+        timed_out_ = true;
+        return std::nullopt;
+      }
       eof_ = true;  // connection error: treat as EOF
       continue;
     }
@@ -75,6 +152,7 @@ std::optional<std::string> LineReader::next_line(std::size_t max_bytes) {
       eof_ = true;
       continue;
     }
+    timed_out_ = false;
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -85,6 +163,10 @@ std::optional<std::string> LineReader::read_exact(std::size_t n) {
     const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        timed_out_ = true;
+        return std::nullopt;
+      }
       eof_ = true;
       break;
     }
@@ -92,6 +174,7 @@ std::optional<std::string> LineReader::read_exact(std::size_t n) {
       eof_ = true;
       break;
     }
+    timed_out_ = false;
     buffer_.append(chunk, static_cast<std::size_t>(got));
   }
   if (buffer_.size() < n) return std::nullopt;  // peer closed mid-body

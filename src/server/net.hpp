@@ -15,6 +15,18 @@ namespace lmds::server {
 /// connected fd, or -1 with errno set.
 int tcp_connect(const std::string& host, int port);
 
+/// Same, but gives up after `timeout_ms` milliseconds (ETIMEDOUT) instead of
+/// blocking for the kernel's SYN-retry eternity — the router's dial path to a
+/// possibly-dead peer. timeout_ms <= 0 falls back to the blocking connect.
+/// The returned fd is back in blocking mode.
+int tcp_connect(const std::string& host, int port, int timeout_ms);
+
+/// Bounds every subsequent recv/send on `fd` to `timeout_ms` milliseconds
+/// (SO_RCVTIMEO / SO_SNDTIMEO); 0 restores fully blocking I/O. Returns false
+/// with errno set if either setsockopt fails. A timed-out recv surfaces in
+/// LineReader as timed_out(), distinct from EOF.
+bool set_io_timeout(int fd, int timeout_ms);
+
 /// Writes all of `data`, retrying on short writes / EINTR. Returns false on
 /// a write error (e.g. peer closed).
 bool send_all(int fd, std::string_view data);
@@ -43,11 +55,18 @@ class LineReader {
 
   bool oversized() const { return oversized_; }
 
+  /// True when the last std::nullopt came from an I/O timeout (fd configured
+  /// via set_io_timeout) rather than a real EOF/error. The connection is
+  /// still alive but the peer went quiet — callers decide whether that is
+  /// fatal (ProtocolClient treats it as io_error) or retryable.
+  bool timed_out() const { return timed_out_; }
+
  private:
   int fd_;
   std::string buffer_;
   bool eof_ = false;
   bool oversized_ = false;
+  bool timed_out_ = false;
 };
 
 /// close(2) wrapper that ignores EINTR; safe on -1.

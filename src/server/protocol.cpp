@@ -318,15 +318,12 @@ void append_response(std::string& out, const api::Response& r) {
   out += '}';
 }
 
-}  // namespace
-
-std::string encode_solve_result(std::span<const api::Response> responses,
-                                const api::BatchDiagnostics& diag, std::string_view ns) {
-  std::string out = "{\"ok\":true,\"op\":\"solve\",\"responses\":[";
-  for (std::size_t i = 0; i < responses.size(); ++i) {
-    if (i) out += ',';
-    append_response(out, responses[i]);
-  }
+// Everything after the "responses" array — shared by the local and the
+// routed (raw-splice) encoder so the two cannot drift: a routed line's tail
+// is byte-for-byte the tail a single server would emit for the same merged
+// diagnostics.
+void append_solve_tail(std::string& out, const api::BatchDiagnostics& diag,
+                       std::string_view ns) {
   out += "],";
   if (!ns.empty()) {
     // Echoed so a client multiplexing namespaces can match responses; absent
@@ -354,6 +351,30 @@ std::string encode_solve_result(std::span<const api::Response> responses,
            ",\"incremental_dirty\":" + std::to_string(diag.incremental_dirty);
   }
   out += "}}";
+}
+
+}  // namespace
+
+std::string encode_solve_result(std::span<const api::Response> responses,
+                                const api::BatchDiagnostics& diag, std::string_view ns) {
+  std::string out = "{\"ok\":true,\"op\":\"solve\",\"responses\":[";
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (i) out += ',';
+    append_response(out, responses[i]);
+  }
+  append_solve_tail(out, diag, ns);
+  return out;
+}
+
+std::string encode_solve_result_raw(std::span<const std::string_view> raw_responses,
+                                    const api::BatchDiagnostics& diag,
+                                    std::string_view ns) {
+  std::string out = "{\"ok\":true,\"op\":\"solve\",\"responses\":[";
+  for (std::size_t i = 0; i < raw_responses.size(); ++i) {
+    if (i) out += ',';
+    out += raw_responses[i];
+  }
+  append_solve_tail(out, diag, ns);
   return out;
 }
 
@@ -431,7 +452,41 @@ std::string encode_stats(const api::CacheStats& cache,
          ",\"patches\":" + std::to_string(store.patches) +
          ",\"reuses\":" + std::to_string(store.reuses) +
          ",\"drops\":" + std::to_string(store.drops) +
-         ",\"evictions\":" + std::to_string(store.evictions) + "}";
+         ",\"evictions\":" + std::to_string(store.evictions);
+  // Multi-tenancy visibility (pin leases + namespace byte accounting).
+  // Emitted only when the feature left a trace, so every stats line from a
+  // server not using leases/quotas stays byte-identical to before.
+  if (store.lease_expiries) {
+    out += ",\"lease_expiries\":" + std::to_string(store.lease_expiries);
+  }
+  if (store.quota_rejections) {
+    out += ",\"quota_rejections\":" + std::to_string(store.quota_rejections);
+  }
+  if (!store.namespace_bytes.empty()) {
+    out += ",\"namespace_bytes\":{";
+    bool first_ns = true;
+    for (const auto& [ns, bytes] : store.namespace_bytes) {
+      if (!first_ns) out += ',';
+      first_ns = false;
+      json_append_string(out, ns);
+      out += ':' + std::to_string(bytes);
+    }
+    out += '}';
+  }
+  if (!store.session_pins.empty()) {
+    out += ",\"session_pins\":{";
+    bool first_session = true;
+    for (const auto& [session, pins] : store.session_pins) {
+      if (!first_session) out += ',';
+      first_session = false;
+      // Session ids are numeric but JSON keys are strings; 0 is the shared
+      // (anonymous, legacy) session.
+      json_append_string(out, std::to_string(session));
+      out += ':' + std::to_string(pins);
+    }
+    out += '}';
+  }
+  out += "}";
   out += ",\"executor\":{\"batches_started\":" + std::to_string(executor.batches_started) +
          ",\"batches_in_flight\":" + std::to_string(executor.batches_in_flight) +
          ",\"shards_executed\":" + std::to_string(executor.shards_executed) +

@@ -43,10 +43,24 @@
 // Admin requests:
 //   {"op":"solvers"}                  registry enumeration
 //   {"op":"stats"}                    cache (global + per-namespace), graph
-//                                     store, server counters, uptime
+//                                     store (incl. per-namespace bytes and
+//                                     per-session pin-lease counts when any
+//                                     exist), server counters, uptime
 //   {"op":"save_cache","path":"f"}    snapshot the response cache to disk
 //   {"op":"load_cache","path":"f"}    warm the response cache from disk
 //   {"op":"shutdown"}                 stop accepting, drain, exit
+//
+// Cluster replication (src/cluster/replication.hpp builds the payloads):
+//   {"op":"replicate_out"}            export this server's graph store +
+//                                     cache snapshot as an inline payload
+//                                     (HTTP: GET /v2/replicate)
+//   {"op":"replicate_out","peer":"host:port"}   push the payload to a peer's
+//                                     replicate_in (HTTP: POST
+//                                     /v2/replicate/push)
+//   {"op":"replicate_in","graphs":[...],"cache":"<base64>"}   install a
+//                                     payload: graphs land unpinned, cache
+//                                     entries merge without evicting local
+//                                     ones (HTTP: POST /v2/replicate)
 //
 // Responses: {"ok":true,"op":...,...} on success;
 // {"ok":false,"code":"bad_request"|"unknown_solver"|"unknown_handle"|
@@ -116,6 +130,14 @@ struct ServerLimits {
   std::size_t max_batch_graphs = 10'000;  ///< graphs per solve request
   int max_request_threads = 64;           ///< cap on a per-request threads override
   std::size_t max_namespace_bytes = 128;  ///< cap on a namespace tag
+  /// Multi-tenant quotas (0 = unlimited, the historical behavior).
+  std::uint64_t max_namespace_store_bytes = 0;  ///< approx graph-store bytes
+                                                ///< one namespace may hold;
+                                                ///< exceeding = server_busy
+  int max_namespace_inflight = 0;  ///< concurrent solve requests one
+                                   ///< namespace may have in flight;
+                                   ///< exceeding = server_busy (admission
+                                   ///< control, never a queue)
 };
 
 /// One entry of a solve request's "graphs" array: an inline edge-list graph
@@ -184,6 +206,15 @@ std::string encode_error(ErrorCode code, std::string_view message);
 std::string encode_solve_result(std::span<const api::Response> responses,
                                 const api::BatchDiagnostics& diag,
                                 std::string_view ns = {});
+
+/// The router's variant: each element of `raw_responses` is the *verbatim
+/// text* of one already-encoded response object, spliced into the
+/// "responses" array unreparsed. This is what makes a routed batch
+/// bit-identical to a single-server solve — re-encoding parsed JSON would
+/// reorder object keys (JsonValue::Object is a sorted map).
+std::string encode_solve_result_raw(std::span<const std::string_view> raw_responses,
+                                    const api::BatchDiagnostics& diag,
+                                    std::string_view ns = {});
 
 /// The solvers success line: every registered SolverSpec with params.
 std::string encode_solvers(const api::Registry& registry);

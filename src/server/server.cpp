@@ -222,7 +222,10 @@ void Server::handle_connection(Connection* conn) {
 
 void Server::serve_line_connection(int fd) {
   LineReader reader(fd);
-  Session session(core_);  // per-connection: open_session state lives here
+  // Owned lease scope: pins made on this connection belong to it and are
+  // released when the Session dies with the connection — a crashed client
+  // cannot leave capacity pinned (tested by tests/test_cluster.cpp).
+  Session session(core_, Session::LeaseScope::Owned);  // + open_session state
   while (!core_.stopping()) {
     std::optional<std::string> line = reader.next_line(opts_.core.limits.max_line_bytes);
     if (!line) {
@@ -245,7 +248,9 @@ void Server::serve_line_connection(int fd) {
 
 void Server::serve_http_connection(int fd) {
   LineReader reader(fd);
-  Session session(core_);  // namespace comes from each request's header
+  // Owned for the same reason as the line transport; namespace comes from
+  // each request's header.
+  Session session(core_, Session::LeaseScope::Owned);
   while (!core_.stopping()) {
     std::optional<HttpRequest> request;
     try {

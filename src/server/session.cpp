@@ -3,15 +3,27 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/replication.hpp"
+#include "server/client.hpp"
 #include "server/json.hpp"
 
 namespace lmds::server {
+
+namespace {
+
+api::GraphStore::StoreOptions store_options(const CoreOptions& opts) {
+  return {.capacity = opts.store_capacity,
+          .max_namespace_bytes = opts.limits.max_namespace_store_bytes,
+          .lease_ttl = std::chrono::milliseconds(opts.lease_ttl_ms)};
+}
+
+}  // namespace
 
 ServerCore::ServerCore(CoreOptions opts, const api::Registry& registry)
     : opts_(std::move(opts)),
       registry_(registry),
       executor_(opts_.batch, registry),
-      store_(opts_.store_capacity),
+      store_(store_options(opts_)),
       start_(std::chrono::steady_clock::now()) {}
 
 double ServerCore::uptime_seconds() const {
@@ -40,6 +52,27 @@ void ServerCore::set_stop_callback(std::function<void()> cb) {
   on_stop_ = std::move(cb);
 }
 
+bool ServerCore::try_begin_solve(const std::string& ns) {
+  const int limit = opts_.limits.max_namespace_inflight;
+  if (limit <= 0) return true;
+  common::MutexLock lock(admit_mu_);
+  int& count = inflight_[ns];
+  if (count >= limit) {
+    if (count == 0) inflight_.erase(ns);  // limit 0 handled above; keep tidy
+    return false;
+  }
+  ++count;
+  return true;
+}
+
+void ServerCore::end_solve(const std::string& ns) {
+  if (opts_.limits.max_namespace_inflight <= 0) return;
+  common::MutexLock lock(admit_mu_);
+  const auto it = inflight_.find(ns);
+  if (it == inflight_.end()) return;
+  if (--it->second <= 0) inflight_.erase(it);
+}
+
 std::string Session::handle_line(std::string_view line) {
   JsonValue root;
   try {
@@ -57,6 +90,16 @@ std::string Session::handle_line(std::string_view line) {
 }
 
 std::string Session::dispatch(std::string_view verb, const JsonValue& root) {
+  if (const ServerCore::DispatchOverride& override = core_.dispatch_override()) {
+    if (std::optional<std::string> routed = override(*this, verb, root)) {
+      core_.count_request();
+      return *std::move(routed);
+    }
+  }
+  return dispatch_local(verb, root);
+}
+
+std::string Session::dispatch_local(std::string_view verb, const JsonValue& root) {
   core_.count_request();
   try {
     if (verb == "solve") return do_solve(root);
@@ -67,6 +110,8 @@ std::string Session::dispatch(std::string_view verb, const JsonValue& root) {
     if (verb == "solvers") return encode_solvers(core_.registry());
     if (verb == "stats") return do_stats();
     if (verb == "save_cache" || verb == "load_cache") return do_snapshot(verb, root);
+    if (verb == "replicate_out") return do_replicate_out(root);
+    if (verb == "replicate_in") return do_replicate_in(root);
     if (verb == "shutdown") {
       core_.request_stop();
       return encode_ok("shutdown");
@@ -77,8 +122,44 @@ std::string Session::dispatch(std::string_view verb, const JsonValue& root) {
   }
 }
 
+namespace {
+
+/// RAII slot from ServerCore::try_begin_solve.
+class AdmissionSlot {
+ public:
+  AdmissionSlot(ServerCore& core, std::string ns)
+      : core_(core), ns_(std::move(ns)), admitted_(core.try_begin_solve(ns_)) {}
+  ~AdmissionSlot() {
+    if (admitted_) core_.end_solve(ns_);
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  bool admitted() const { return admitted_; }
+
+ private:
+  ServerCore& core_;
+  std::string ns_;
+  bool admitted_;
+};
+
+}  // namespace
+
 std::string Session::do_solve(const JsonValue& root) {
   SolveRequest req = decode_solve(root, core_.registry(), core_.options().limits);
+
+  // Request-level namespace wins over the session's open_session choice.
+  req.overrides.cache_namespace = req.ns.value_or(ns_);
+
+  // Per-namespace admission control: over-quota requests bounce *before*
+  // any graph resolution or solver work, with a retryable busy answer.
+  const AdmissionSlot slot(core_, req.overrides.cache_namespace);
+  if (!slot.admitted()) {
+    return encode_error(
+        ErrorCode::ServerBusy,
+        "namespace \"" + req.overrides.cache_namespace + "\" has " +
+            std::to_string(core_.options().limits.max_namespace_inflight) +
+            " solves in flight (per-namespace admission limit); retry shortly");
+  }
 
   // Resolve the graph references into one pointer span: inline graphs live
   // in `decoded` (reserved up front — growth must not move earlier decodes),
@@ -98,7 +179,7 @@ std::string Session::do_solve(const JsonValue& root) {
   std::vector<std::shared_ptr<const api::PatchLineage>> lineages(req.graphs.size());
   for (GraphRef& ref : req.graphs) {
     if (const auto* handle = std::get_if<std::string>(&ref)) {
-      std::shared_ptr<const graph::Graph> g = core_.store().get(*handle);
+      std::shared_ptr<const graph::Graph> g = core_.store().get(*handle, session_id_);
       if (!g) {
         throw ProtocolError(ErrorCode::UnknownHandle,
                             "unknown graph handle \"" + *handle +
@@ -113,9 +194,6 @@ std::string Session::do_solve(const JsonValue& root) {
       ptrs.push_back(&decoded.back());
     }
   }
-
-  // Request-level namespace wins over the session's open_session choice.
-  req.overrides.cache_namespace = req.ns.value_or(ns_);
 
   api::BatchDiagnostics diag;
   std::vector<api::Response> responses;
@@ -151,7 +229,7 @@ std::string Session::do_put_graph(const JsonValue& root) {
   graph::Graph g = decode_graph(*graph, core_.options().limits);
   api::GraphStore::PutResult put;
   try {
-    put = core_.store().put(std::move(g));
+    put = core_.store().put(std::move(g), session_id_, ns_);
   } catch (const api::GraphStoreFull& e) {
     // Retryable once a client drops a graph — busy, not malformed.
     return encode_error(ErrorCode::ServerBusy, e.what());
@@ -184,7 +262,7 @@ std::string Session::do_patch_graph(const JsonValue& root) {
   const graph::GraphPatch patch = decode_patch(root, core_.options().limits);
   api::GraphStore::PatchResult result;
   try {
-    result = core_.store().patch(handle->as_string(), patch);
+    result = core_.store().patch(handle->as_string(), patch, session_id_, ns_);
   } catch (const api::UnknownGraphHandle& e) {
     throw ProtocolError(ErrorCode::UnknownHandle,
                         std::string(e.what()) + " (expired, dropped, or never put)");
@@ -210,9 +288,12 @@ std::string Session::do_drop_graph(const JsonValue& root) {
   if (!handle || handle->type() != JsonValue::Type::String) {
     throw ProtocolError(ErrorCode::BadRequest, "drop_graph needs a string \"handle\" field");
   }
-  if (!core_.store().drop(handle->as_string())) {
+  if (!core_.store().drop(handle->as_string(), session_id_)) {
+    // Covers both "no such handle" and "pinned by someone else" — the codes
+    // are deliberately identical, so one tenant cannot probe another's pins.
     throw ProtocolError(ErrorCode::UnknownHandle,
-                        "unknown graph handle \"" + handle->as_string() + "\"");
+                        "unknown graph handle \"" + handle->as_string() +
+                            "\" (or not pinned by this session)");
   }
   std::string extra = "\"handle\":";
   json_append_string(extra, handle->as_string());
@@ -232,18 +313,89 @@ std::string Session::do_open_session(const JsonValue& root) {
 
 std::string Session::do_stats() {
   api::BatchExecutor& executor = core_.executor();
+  core_.store().expire_leases();  // report post-expiry reality, not stale pins
   std::map<std::string, api::NamespaceStats> namespaces =
       executor.cache().namespace_stats();
+  api::GraphStoreStats store = core_.store().stats();
   if (!core_.options().stats_all_namespaces) {
     // Don't leak other tenants' namespace tags: knowing a tag is all it
     // takes to read that tenant's warm cache, so a client sees only its own
-    // slice (operators opt into the full map).
+    // slice (operators opt into the full map). Same rule for the store's
+    // byte accounting and pin-lease map: own namespace, own session only.
     std::map<std::string, api::NamespaceStats> own;
     if (const auto it = namespaces.find(ns_); it != namespaces.end()) own.insert(*it);
     namespaces = std::move(own);
+    std::map<std::string, std::uint64_t> own_bytes;
+    if (const auto it = store.namespace_bytes.find(ns_); it != store.namespace_bytes.end()) {
+      own_bytes.insert(*it);
+    }
+    store.namespace_bytes = std::move(own_bytes);
+    std::map<api::SessionId, std::uint64_t> own_pins;
+    if (const auto it = store.session_pins.find(session_id_);
+        it != store.session_pins.end()) {
+      own_pins.insert(*it);
+    }
+    store.session_pins = std::move(own_pins);
   }
-  return encode_stats(executor.cache_stats(), namespaces, core_.store().stats(),
-                      executor.health(), core_.counters(), core_.uptime_seconds());
+  return encode_stats(executor.cache_stats(), namespaces, store, executor.health(),
+                      core_.counters(), core_.uptime_seconds());
+}
+
+std::string Session::do_replicate_out(const JsonValue& root) {
+  const std::string members =
+      cluster::encode_replication_members(core_.store(), core_.executor().cache());
+  const JsonValue* peer = root.find("peer");
+  if (!peer) return encode_ok("replicate_out", members);  // pull: payload inline
+
+  // Push mode: dial the peer and hand the payload to its replicate_in.
+  if (peer->type() != JsonValue::Type::String) {
+    throw ProtocolError(ErrorCode::BadRequest, "replicate \"peer\" must be \"host:port\"");
+  }
+  const std::string& addr = peer->as_string();
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    throw ProtocolError(ErrorCode::BadRequest, "replicate \"peer\" must be \"host:port\"");
+  }
+  int port = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    const char c = addr[i];
+    if (c < '0' || c > '9') {
+      throw ProtocolError(ErrorCode::BadRequest, "replicate \"peer\" port must be numeric");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      throw ProtocolError(ErrorCode::BadRequest, "replicate \"peer\" port out of range");
+    }
+  }
+  try {
+    ClientOptions peer_opts;
+    peer_opts.connect_timeout_ms = 5000;
+    peer_opts.io_timeout_ms = 60000;  // a big payload may take a moment
+    ProtocolClient client(addr.substr(0, colon), port, /*http=*/false, "", peer_opts);
+    const JsonValue response = client.exchange("replicate_in", members);
+    require_ok(response, "replicate_in on " + addr);
+    std::string extra = "\"peer\":";
+    json_append_string(extra, addr);
+    const JsonValue* installed = response.find("installed");
+    const JsonValue* present = response.find("present");
+    extra += ",\"installed\":" +
+             std::to_string(installed ? installed->as_int() : 0) + ",\"present\":" +
+             std::to_string(present ? present->as_int() : 0);
+    return encode_ok("replicate_out", extra);
+  } catch (const std::exception& e) {
+    return encode_error(ErrorCode::IoError,
+                        "replicate to " + addr + " failed: " + e.what());
+  }
+}
+
+std::string Session::do_replicate_in(const JsonValue& root) {
+  const cluster::ReplicationResult result = cluster::apply_replication(
+      root, core_.store(), core_.executor().cache(), core_.options().limits);
+  std::string extra = "\"installed\":" + std::to_string(result.installed) +
+                      ",\"present\":" + std::to_string(result.present) +
+                      ",\"rejected\":" + std::to_string(result.rejected) +
+                      ",\"cache_merged\":" + (result.cache_merged ? "true" : "false");
+  return encode_ok("replicate_in", extra);
 }
 
 std::string Session::do_snapshot(std::string_view verb, const JsonValue& root) {

@@ -21,6 +21,8 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -33,6 +35,8 @@
 
 namespace lmds::server {
 
+class Session;
+
 /// Configuration of a ServerCore — the transport-independent subset of what
 /// lmds_serve exposes as flags.
 struct CoreOptions {
@@ -41,6 +45,10 @@ struct CoreOptions {
   /// Graph-store capacity in graphs (see api::GraphStore; 0 disables
   /// put_graph).
   std::size_t store_capacity = 1024;
+  /// Pin-lease TTL for owned (connection) sessions in milliseconds; a pin
+  /// not renewed by any get/put/patch from its owner within the TTL is
+  /// released. 0 = leases never expire (the historical behavior).
+  int lease_ttl_ms = 0;
   /// Namespace tags are the only thing separating tenants, so by default a
   /// stats request reports only the caller's own namespace slice. True
   /// exposes every namespace's counters (operator/debug deployments).
@@ -80,6 +88,33 @@ class ServerCore {
   /// serving; the mutex makes a late or replaced registration safe too.
   void set_stop_callback(std::function<void()> cb) LMDS_EXCLUDES(stop_mu_);
 
+  /// Fresh pin-lease owner id for one connection (>= 1; 0 is the shared
+  /// anonymous session).
+  api::SessionId allocate_session_id() {
+    return next_session_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Per-namespace admission control (limits.max_namespace_inflight).
+  /// try_begin_solve returns false — the caller answers server_busy — when
+  /// the namespace already has its quota of solves in flight; end_solve
+  /// releases the slot. Admission, not queueing: a rejected request never
+  /// waits, so one tenant's burst cannot occupy the worker pool's backlog.
+  bool try_begin_solve(const std::string& ns) LMDS_EXCLUDES(admit_mu_);
+  void end_solve(const std::string& ns) LMDS_EXCLUDES(admit_mu_);
+
+  /// Cluster hook, consulted at the top of Session::dispatch: return a
+  /// response line to answer the verb (the router intercepting solve /
+  /// put_graph / patch_graph / ...), or std::nullopt to fall through to the
+  /// local implementation. Install BEFORE serving starts — the function is
+  /// read unsynchronized from connection threads, relying on the
+  /// happens-before of thread creation. This is how lmds_serve --router
+  /// layers src/cluster/ on top of the server library without the server
+  /// linking the router.
+  using DispatchOverride =
+      std::function<std::optional<std::string>(Session&, std::string_view, const JsonValue&)>;
+  void set_dispatch_override(DispatchOverride override) { override_ = std::move(override); }
+  const DispatchOverride& dispatch_override() const { return override_; }
+
  private:
   CoreOptions opts_;
   const api::Registry& registry_;
@@ -95,11 +130,37 @@ class ServerCore {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> graphs_solved_{0};
+
+  std::atomic<api::SessionId> next_session_{1};
+  common::Mutex admit_mu_;
+  /// Solves in flight per namespace; keys erased at zero so the map is
+  /// bounded by concurrent requests, not by every tag ever seen.
+  std::map<std::string, int> inflight_ LMDS_GUARDED_BY(admit_mu_);
+
+  DispatchOverride override_;  ///< set before serving, then read-only
 };
 
 class Session {
  public:
-  explicit Session(ServerCore& core) : core_(core) {}
+  /// How this session owns its graph-store pins. Shared — the default, and
+  /// what every pre-lease caller gets — pins as the anonymous
+  /// kSharedSession: pins form one shared counter, never expire, and
+  /// survive the Session object. Owned allocates a fresh SessionId: pins
+  /// belong to this session alone (another session's drop_graph fails),
+  /// expire under the core's lease TTL, and are all released when the
+  /// Session is destroyed — which the connection loops tie to the life of
+  /// the connection, so a crashed client frees its pins.
+  enum class LeaseScope { Shared, Owned };
+
+  explicit Session(ServerCore& core, LeaseScope scope = LeaseScope::Shared)
+      : core_(core),
+        session_id_(scope == LeaseScope::Owned ? core.allocate_session_id()
+                                               : api::kSharedSession) {}
+  ~Session() {
+    if (session_id_ != api::kSharedSession) core_.store().release_session(session_id_);
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   /// Handles one protocol line and returns the response line (no trailing
   /// '\n'). Never throws for request-level failures — those become
@@ -108,8 +169,15 @@ class Session {
 
   /// The framing-free entry: `root` is the parsed request body, `verb` the
   /// operation (from the body's "op" over the line protocol, from the route
-  /// over HTTP). Counts the request and returns the response body.
+  /// over HTTP). Consults the core's dispatch override (the cluster router)
+  /// first, then falls through to dispatch_local. Counts the request and
+  /// returns the response body.
   std::string dispatch(std::string_view verb, const JsonValue& root);
+
+  /// dispatch without the override hook — always the local implementation.
+  /// The router calls this for the verbs it answers from its own core (and
+  /// it is what keeps the override from recursing into itself).
+  std::string dispatch_local(std::string_view verb, const JsonValue& root);
 
   /// This session's cache namespace ("" = default). Selected by the
   /// open_session verb; HTTP sets it per request from a header.
@@ -117,6 +185,9 @@ class Session {
   void set_ns(std::string ns) { ns_ = std::move(ns); }
 
   ServerCore& core() { return core_; }
+
+  /// This session's pin-lease owner id (api::kSharedSession for Shared).
+  api::SessionId session_id() const { return session_id_; }
 
  private:
   std::string do_solve(const JsonValue& root);
@@ -126,11 +197,14 @@ class Session {
   std::string do_open_session(const JsonValue& root);
   std::string do_stats();
   std::string do_snapshot(std::string_view verb, const JsonValue& root);
+  std::string do_replicate_out(const JsonValue& root);
+  std::string do_replicate_in(const JsonValue& root);
   /// Validates a client-supplied snapshot path and resolves it under the
   /// core's snapshot_dir; throws ProtocolError on traversal attempts.
   std::string resolve_snapshot_path(const std::string& path) const;
 
   ServerCore& core_;
+  const api::SessionId session_id_;
   std::string ns_;
 };
 
